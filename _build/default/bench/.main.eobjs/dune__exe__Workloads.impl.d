@@ -1,0 +1,1 @@
+bench/workloads.ml: List Printf Sdb_nameserver Sdb_storage Sdb_util String Unix

@@ -1,0 +1,70 @@
+(* Workload builders and measurement helpers shared by the experiments. *)
+
+module Fs = Sdb_storage.Fs
+module Mem = Sdb_storage.Mem_fs
+module Ns = Sdb_nameserver.Nameserver
+module Data = Sdb_nameserver.Ns_data
+module Rng = Sdb_util.Rng
+module Histogram = Sdb_util.Histogram
+module Tablefmt = Sdb_util.Tablefmt
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+let fmt_ms = Tablefmt.fmt_ms
+let fmt_bytes = Tablefmt.fmt_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Name-server database builder                                        *)
+
+(* Two-level namespace: /g<k>/n<i> -> 32-byte value; each entry weighs
+   roughly 45 bytes of labels+value, so [entries_for_bytes] sizes a
+   database to a target in-memory weight comparable to the paper's
+   "1 megabyte database". *)
+let bytes_per_entry = 45
+
+let entries_for_bytes target = max 16 (target / bytes_per_entry)
+
+let entry_path i = [ Printf.sprintf "g%03d" (i mod 64); Printf.sprintf "n%06d" i ]
+
+let build_ns ?config ~entries ~seed () =
+  let store = Mem.create_store ~seed () in
+  let fs = Mem.fs store in
+  let ns = Ns.open_exn ?config fs in
+  let rng = Rng.create ~seed in
+  let batch = ref [] in
+  for i = 0 to entries - 1 do
+    batch := Ns.Set_value (entry_path i, Some (Rng.string rng ~len:32)) :: !batch;
+    if List.length !batch >= 512 then begin
+      Ns.Db.update_batch (Ns.db ns) !batch;
+      batch := []
+    end
+  done;
+  if !batch <> [] then Ns.Db.update_batch (Ns.db ns) !batch;
+  (* Start every experiment from a quiescent generation: checkpoint and
+     reset counters so only the measured section is accounted. *)
+  Ns.checkpoint ns;
+  Fs.Counters.reset fs.Fs.counters;
+  (store, fs, ns)
+
+let random_path rng entries = entry_path (Rng.int rng entries)
+
+let db_weight ns = Ns.Db.query (Ns.db ns) Data.weight_bytes
+
+(* ------------------------------------------------------------------ *)
+(* KV store population (baselines)                                     *)
+
+let kv_key i = Printf.sprintf "key%06d" i
+let kv_value rng = Rng.string rng ~len:100
+
+(* ------------------------------------------------------------------ *)
+(* Output helpers                                                      *)
+
+let section id title =
+  Printf.printf "\n=== %s: %s ===\n" (String.uppercase_ascii id) title
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n" s) fmt
+
+let paper fmt = Printf.ksprintf (fun s -> Printf.printf "  paper: %s\n" s) fmt

@@ -1,0 +1,1 @@
+bin/sdb_inspect.ml: Bytes Digest Int32 List Printf Sdb_checkpoint Sdb_storage Sdb_util String Sys

@@ -1,0 +1,1 @@
+bin/sdb_inspect.mli:

@@ -1,0 +1,1 @@
+bin/smalldb_ns.ml: Arg Cmd Cmdliner Digest Format Fun List Printf Sdb_nameserver Sdb_rpc Sdb_storage Smalldb Sys Term Unix

@@ -1,0 +1,1 @@
+bin/smalldb_ns.mli:

@@ -1,0 +1,140 @@
+(* Forensics for a small-database directory: show the generation files,
+   which version is current, the checkpoint header, and a frame-by-frame
+   scan of the log including where (and why) replay would stop.
+
+   dune exec bin/sdb_inspect.exe -- /tmp/ns *)
+
+module Fs = Sdb_storage.Fs
+module Store = Sdb_checkpoint.Checkpoint_store
+module Crc32 = Sdb_util.Crc32
+
+let wal_magic = "SDBWAL1\n"
+let pickle_magic = "SDBP1"
+
+let human n = Sdb_util.Tablefmt.fmt_bytes n
+
+let read_opt fs file =
+  if fs.Fs.exists file then
+    match Fs.read_file fs file with
+    | s -> Some (Ok s)
+    | exception Fs.Read_error { reason; _ } -> Some (Error reason)
+  else None
+
+let show_version fs name =
+  match read_opt fs name with
+  | None -> Printf.printf "  %-12s absent\n" name
+  | Some (Ok contents) -> Printf.printf "  %-12s %S\n" name (String.trim contents)
+  | Some (Error reason) -> Printf.printf "  %-12s unreadable (%s)\n" name reason
+
+let show_checkpoint fs name =
+  match read_opt fs name with
+  | None -> Printf.printf "  %s: absent\n" name
+  | Some (Error reason) -> Printf.printf "  %s: UNREADABLE (%s)\n" name reason
+  | Some (Ok blob) ->
+    let n = String.length blob in
+    if n >= String.length pickle_magic + 16
+       && String.sub blob 0 (String.length pickle_magic) = pickle_magic
+    then
+      Printf.printf "  %s: %s, pickle fingerprint %s\n" name (human n)
+        (Digest.to_hex (String.sub blob (String.length pickle_magic) 16))
+    else Printf.printf "  %s: %s, NOT a pickled checkpoint\n" name (human n)
+
+(* Walk log frames by hand so damage is reported rather than hidden. *)
+let show_log fs name =
+  match fs.Fs.exists name with
+  | false -> Printf.printf "  %s: absent\n" name
+  | true ->
+    let size = fs.Fs.file_size name in
+    let header_size = String.length wal_magic + 16 in
+    if size < header_size then
+      Printf.printf "  %s: %s, shorter than a log header\n" name (human size)
+    else begin
+      let r = fs.Fs.open_reader name in
+      let read_exact n =
+        let buf = Bytes.create n in
+        let rec go got =
+          if got = n then Ok buf
+          else
+            match r.Fs.r_read buf got (n - got) with
+            | 0 -> Error "truncated"
+            | k -> go (got + k)
+            | exception Fs.Read_error { reason; _ } -> Error reason
+        in
+        go 0
+      in
+      (match read_exact header_size with
+      | Error reason -> Printf.printf "  %s: header unreadable (%s)\n" name reason
+      | Ok hdr ->
+        if Bytes.sub_string hdr 0 (String.length wal_magic) <> wal_magic then
+          Printf.printf "  %s: bad magic\n" name
+        else begin
+          Printf.printf "  %s: %s, update fingerprint %s\n" name (human size)
+            (Digest.to_hex (Bytes.sub_string hdr (String.length wal_magic) 16));
+          let rec frames idx offset =
+            if offset >= size then Printf.printf "    %d entries, clean end\n" idx
+            else
+              match read_exact 8 with
+              | Error reason ->
+                Printf.printf "    %d entries, then unreadable frame header (%s)\n" idx
+                  reason
+              | Ok fh ->
+                let len = Int32.to_int (Bytes.get_int32_le fh 0) in
+                let crc = Bytes.get_int32_le fh 4 in
+                if len < 0 || offset + 8 + len > size then
+                  Printf.printf "    %d entries, then truncated entry (claims %d bytes)\n"
+                    idx len
+                else begin
+                  match read_exact len with
+                  | Error reason ->
+                    Printf.printf "    entry %d at %d: %d bytes, DAMAGED (%s)\n" idx
+                      offset len reason
+                  | Ok payload ->
+                    let ok =
+                      Crc32.equal (Crc32.digest_bytes payload ~pos:0 ~len) crc
+                    in
+                    Printf.printf "    entry %d at %d: %d bytes, crc %s\n" idx offset len
+                      (if ok then "ok" else "MISMATCH");
+                    frames (idx + 1) (offset + 8 + len)
+                end
+          in
+          frames 0 header_size
+        end);
+      r.Fs.r_close ()
+    end
+
+let inspect dir =
+  let fs = Sdb_storage.Real_fs.create ~root:dir in
+  Printf.printf "store: %s\n" dir;
+  print_endline "version files:";
+  show_version fs Store.version_file;
+  show_version fs Store.newversion_file;
+  print_endline "files:";
+  List.iter
+    (fun (name, size) -> Printf.printf "  %-20s %10s\n" name (human size))
+    (Store.disk_files fs);
+  (match Store.recover fs ~retain_previous:true with
+  | Ok None -> print_endline "state: fresh (no committed generation)"
+  | Ok (Some r) ->
+    Printf.printf "current generation: %d%s\n" r.Store.current.Store.version
+      (match r.Store.previous with
+      | Some p -> Printf.sprintf " (previous %d retained)" p.Store.version
+      | None -> "");
+    if r.Store.completed_switch then
+      print_endline "note: completed a half-finished checkpoint switch";
+    if r.Store.removed_files <> [] then
+      Printf.printf "cleaned up: %s\n" (String.concat ", " r.Store.removed_files);
+    print_endline "checkpoint:";
+    show_checkpoint fs r.Store.current.Store.checkpoint_file;
+    print_endline "log:";
+    show_log fs r.Store.current.Store.log_file
+  | Error e -> Printf.printf "state: CORRUPT (%s)\n" e)
+
+let () =
+  match Sys.argv with
+  | [| _; dir |] when Sys.file_exists dir && Sys.is_directory dir -> inspect dir
+  | [| _; dir |] ->
+    Printf.eprintf "no such directory: %s\n" dir;
+    exit 2
+  | _ ->
+    prerr_endline "usage: sdb_inspect DIR";
+    exit 2

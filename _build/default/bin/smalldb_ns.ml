@@ -1,0 +1,232 @@
+(* The name server as a daemon plus client commands, in the shape the
+   paper describes: a server process owning the database directory,
+   clients reaching it through RPC (here a Unix-domain socket).
+
+   dune exec bin/smalldb_ns.exe -- serve --dir /tmp/ns --socket /tmp/ns.sock
+   dune exec bin/smalldb_ns.exe -- set --socket /tmp/ns.sock /hosts/a 10.0.0.1
+   dune exec bin/smalldb_ns.exe -- lookup --socket /tmp/ns.sock /hosts/a *)
+
+module Ns = Sdb_nameserver.Nameserver
+module Path = Sdb_nameserver.Name_path
+module Data = Sdb_nameserver.Ns_data
+module Rpc = Sdb_rpc.Rpc
+module Proto = Sdb_rpc.Ns_protocol
+open Cmdliner
+
+let parse_path s =
+  match Path.of_string s with
+  | Ok p -> p
+  | Error e ->
+    prerr_endline ("invalid name: " ^ e);
+    exit 2
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                                *)
+
+let serve dir socket checkpoint_bytes retain =
+  let fs = Sdb_storage.Real_fs.create ~root:dir in
+  let config =
+    {
+      Smalldb.default_config with
+      retain_previous = retain;
+      policy =
+        (match checkpoint_bytes with
+        | Some n -> Smalldb.Log_bytes_exceeds n
+        | None -> Smalldb.Manual);
+    }
+  in
+  match Ns.open_ ~config fs with
+  | Error e ->
+    prerr_endline ("cannot open database: " ^ e);
+    exit 1
+  | Ok ns ->
+    let s = Ns.stats ns in
+    Printf.printf "serving %s on %s (generation %d, lsn %d, replayed %d)\n%!" dir
+      socket s.Smalldb.generation s.Smalldb.lsn s.Smalldb.recovery.Smalldb.replayed;
+    let listener = Rpc.Socket.listen ~path:socket (Proto.serve ns) in
+    let stop = ref false in
+    let handler _ = stop := true in
+    ignore (Sys.signal Sys.sigint (Sys.Signal_handle handler));
+    ignore (Sys.signal Sys.sigterm (Sys.Signal_handle handler));
+    while not !stop do
+      Unix.sleepf 0.2
+    done;
+    print_endline "shutting down";
+    Rpc.Socket.shutdown listener;
+    Ns.close ns
+
+(* ------------------------------------------------------------------ *)
+(* client commands                                                      *)
+
+let with_client socket f =
+  match Rpc.Socket.connect ~path:socket with
+  | exception Rpc.Rpc_error e ->
+    prerr_endline e;
+    exit 1
+  | transport ->
+    let client = Proto.Client.create transport in
+    Fun.protect ~finally:(fun () -> Proto.Client.close client) (fun () ->
+        try f client
+        with Rpc.Rpc_error e ->
+          prerr_endline ("rpc: " ^ e);
+          exit 1)
+
+let lookup socket name =
+  with_client socket (fun c ->
+      match Proto.Client.lookup c (parse_path name) with
+      | Some v -> print_endline v
+      | None ->
+        prerr_endline "(unbound)";
+        exit 3)
+
+let set socket name value =
+  with_client socket (fun c ->
+      Proto.Client.set_value c (parse_path name) (Some value))
+
+let unset socket name =
+  with_client socket (fun c -> Proto.Client.set_value c (parse_path name) None)
+
+let ls socket name =
+  with_client socket (fun c ->
+      match Proto.Client.list_children c (parse_path name) with
+      | Some children -> List.iter print_endline children
+      | None ->
+        prerr_endline "(no such name)";
+        exit 3)
+
+let rm socket name =
+  with_client socket (fun c -> Proto.Client.delete_subtree c (parse_path name))
+
+let mkdir socket name =
+  with_client socket (fun c -> Proto.Client.create_name c (parse_path name))
+
+let find socket pattern =
+  with_client socket (fun c ->
+      match Proto.Client.find c pattern with
+      | Ok results ->
+        List.iter
+          (fun (path, value) ->
+            match value with
+            | Some v -> Printf.printf "%s\t%s\n" (Path.to_string path) v
+            | None -> print_endline (Path.to_string path))
+          results
+      | Error e ->
+        prerr_endline ("bad pattern: " ^ e);
+        exit 2)
+
+let export socket name depth =
+  with_client socket (fun c ->
+      match Proto.Client.export ?depth c (parse_path name) with
+      | Some tree -> Format.printf "%a@." Data.pp_tree tree
+      | None ->
+        prerr_endline "(no such name)";
+        exit 3)
+
+let cas socket name expected value =
+  with_client socket (fun c ->
+      match
+        Proto.Client.compare_and_set c (parse_path name) ~expected (Some value)
+      with
+      | Ok () -> ()
+      | Error e ->
+        prerr_endline ("refused: " ^ e);
+        exit 4)
+
+let checkpoint socket =
+  with_client socket (fun c -> Proto.Client.checkpoint c)
+
+let status socket =
+  with_client socket (fun c ->
+      Printf.printf "lsn:    %d\n" (Proto.Client.lsn c);
+      Printf.printf "nodes:  %d\n" (Proto.Client.count_nodes c);
+      Printf.printf "digest: %s\n" (Digest.to_hex (Proto.Client.digest c)))
+
+(* ------------------------------------------------------------------ *)
+(* command line                                                         *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket"; "s" ] ~docv:"PATH" ~doc:"Unix-domain socket of the server.")
+
+let name_arg index =
+  Arg.(
+    required & pos index (some string) None & info [] ~docv:"NAME" ~doc:"Name (path).")
+
+let serve_cmd =
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir"; "d" ] ~docv:"DIR" ~doc:"Database directory.")
+  in
+  let ckpt =
+    Arg.(
+      value
+      & opt (some int) (Some (4 * 1024 * 1024))
+      & info [ "checkpoint-bytes" ] ~docv:"BYTES"
+          ~doc:"Checkpoint when the log exceeds this size (omit for manual only).")
+  in
+  let retain =
+    Arg.(
+      value & flag
+      & info [ "retain-previous" ]
+          ~doc:"Keep the previous checkpoint generation for hard-error recovery.")
+  in
+  Cmd.v (Cmd.info "serve" ~doc:"Run the name server.")
+    Term.(const serve $ dir $ socket_arg $ ckpt $ retain)
+
+let client_cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let value_arg index =
+  Arg.(required & pos index (some string) None & info [] ~docv:"VALUE" ~doc:"Value.")
+
+let expected_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "expected" ] ~docv:"VALUE"
+        ~doc:"Expected current value (omitted = expected unbound).")
+
+let depth_arg =
+  Arg.(value & opt (some int) None & info [ "depth" ] ~docv:"N" ~doc:"Depth limit.")
+
+let cmds =
+  [
+    serve_cmd;
+    client_cmd "lookup" "Print the value bound at NAME."
+      Term.(const lookup $ socket_arg $ name_arg 0);
+    client_cmd "set" "Bind VALUE at NAME (creating intermediate names)."
+      Term.(const set $ socket_arg $ name_arg 0 $ value_arg 1);
+    client_cmd "unset" "Remove the value at NAME, keeping the node."
+      Term.(const unset $ socket_arg $ name_arg 0);
+    client_cmd "ls" "List the children of NAME."
+      Term.(const ls $ socket_arg $ name_arg 0);
+    client_cmd "rm" "Delete the subtree at NAME."
+      Term.(const rm $ socket_arg $ name_arg 0);
+    client_cmd "mkdir" "Create NAME (valueless) and its intermediates."
+      Term.(const mkdir $ socket_arg $ name_arg 0);
+    client_cmd "export" "Print the subtree at NAME."
+      Term.(const export $ socket_arg $ name_arg 0 $ depth_arg);
+    client_cmd "find" "List names matching a glob PATTERN (e.g. '/hosts/*/addr')."
+      Term.(
+        const find $ socket_arg
+        $ Arg.(
+            required
+            & pos 0 (some string) None
+            & info [] ~docv:"PATTERN" ~doc:"Glob pattern."));
+    client_cmd "cas" "Compare-and-set the value at NAME."
+      Term.(const cas $ socket_arg $ name_arg 0 $ expected_arg $ value_arg 1);
+    client_cmd "checkpoint" "Ask the server to write a checkpoint."
+      Term.(const checkpoint $ socket_arg);
+    client_cmd "status" "Print server LSN, node count and digest."
+      Term.(const status $ socket_arg);
+  ]
+
+let () =
+  let info =
+    Cmd.info "smalldb_ns" ~version:"1.0.0"
+      ~doc:"A replicated name server on the small-database engine."
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Hashtbl Printf Sdb_pickle Sdb_storage Smalldb

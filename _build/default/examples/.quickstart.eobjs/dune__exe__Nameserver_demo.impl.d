@@ -1,0 +1,1 @@
+examples/nameserver_demo.ml: Array Filename Format List Option Printf Sdb_nameserver Sdb_storage Smalldb String Sys

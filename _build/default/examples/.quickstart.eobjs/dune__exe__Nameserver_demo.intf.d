@@ -1,0 +1,1 @@
+examples/nameserver_demo.mli:

@@ -1,0 +1,1 @@
+examples/partitioned_directory.ml: Hashtbl List Printf Sdb_multidb Sdb_pickle Sdb_storage Sdb_util

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Filename Hashtbl Option Printf Sdb_pickle Sdb_storage Smalldb

@@ -1,0 +1,1 @@
+examples/replication_demo.ml: List Option Printf Sdb_checkpoint Sdb_nameserver Sdb_replica Sdb_rpc Sdb_storage Smalldb Thread

@@ -1,0 +1,1 @@
+examples/user_accounts.ml: Array Filename Hashtbl List Printf Sdb_pickle Sdb_storage Smalldb String Sys

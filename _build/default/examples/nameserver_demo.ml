@@ -1,0 +1,91 @@
+(* The paper's case study: a name server whose database is a tree of
+   hash tables in virtual memory, durable via checkpoint + log.
+
+   Run with:  dune exec examples/nameserver_demo.exe *)
+
+module Ns = Sdb_nameserver.Nameserver
+module Path = Sdb_nameserver.Name_path
+module Data = Sdb_nameserver.Ns_data
+
+let p s =
+  match Path.of_string s with Ok v -> v | Error e -> failwith e
+
+let () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "smalldb-nsdemo" in
+  (* Start from scratch each run for a reproducible demo. *)
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  let fs = Sdb_storage.Real_fs.create ~root:dir in
+  let ns = Ns.open_exn fs in
+
+  (* Populate a small SRC-style namespace. *)
+  Ns.set_value ns (p "/hosts/acacia") (Some "16.9.0.11");
+  Ns.set_value ns (p "/hosts/buckeye") (Some "16.9.0.12");
+  Ns.set_value ns (p "/users/birrell/office") (Some "SRC-210");
+  Ns.set_value ns (p "/users/jones/office") (Some "CMU");
+  Ns.set_value ns (p "/users/wobber/office") (Some "SRC-212");
+
+  (* A whole subtree installed in one update. *)
+  Ns.write_subtree ns (p "/services/mail")
+    (Data.tree ~value:"primary"
+       [ ("queue", Data.leaf (Some "acacia")); ("backup", Data.leaf (Some "buckeye")) ]);
+
+  (* Enquiries are virtual-memory lookups. *)
+  Printf.printf "acacia       -> %s\n"
+    (Option.value (Ns.lookup ns (p "/hosts/acacia")) ~default:"?");
+  Printf.printf "mail backup  -> %s\n"
+    (Option.value (Ns.lookup ns (p "/services/mail/backup")) ~default:"?");
+
+  (* Browsing. *)
+  (match Ns.list_children ns (p "/users") with
+  | Some users -> Printf.printf "users        -> %s\n" (String.concat ", " users)
+  | None -> ());
+  (match Ns.export ns (p "/services") with
+  | Some tree -> Format.printf "services     -> %a@." Data.pp_tree tree
+  | None -> ());
+
+  (* Search: enumeration under a prefix and glob patterns. *)
+  (match Sdb_nameserver.Name_glob.compile "/users/*/office" with
+  | Ok pattern ->
+    print_endline "offices (glob /users/*/office):";
+    List.iter
+      (fun (path, value) ->
+        Printf.printf "  %-24s %s\n" (Path.to_string path)
+          (Option.value value ~default:"-"))
+      (Ns.find ns pattern)
+  | Error e -> prerr_endline e);
+
+  (* A guarded update: compare-and-set on a binding. *)
+  (match
+     Ns.compare_and_set ns (p "/services/mail") ~expected:(Some "primary")
+       (Some "maintenance")
+   with
+  | Ok () -> print_endline "mail service flipped to maintenance"
+  | Error e -> Printf.printf "cas refused: %s\n" e);
+
+  (* The audit trail: every committed update since the last checkpoint. *)
+  print_endline "audit trail:";
+  Ns.fold_log ns ~init:() ~f:(fun () lsn u ->
+      let describe = function
+        | Ns.Set_value (path, Some v) ->
+          Printf.sprintf "set %s = %S" (Path.to_string path) v
+        | Ns.Set_value (path, None) -> Printf.sprintf "unset %s" (Path.to_string path)
+        | Ns.Write_subtree (path, _) ->
+          Printf.sprintf "write subtree at %s" (Path.to_string path)
+        | Ns.Delete_subtree path -> Printf.sprintf "delete %s" (Path.to_string path)
+        | Ns.Create path -> Printf.sprintf "create %s" (Path.to_string path)
+      in
+      Printf.printf "  lsn %2d: %s\n" lsn (describe u));
+
+  (* Checkpoint, mutate some more, crash-less restart. *)
+  Ns.checkpoint ns;
+  Ns.delete_subtree ns (p "/hosts/buckeye");
+  Ns.close ns;
+
+  let ns2 = Ns.open_exn fs in
+  Printf.printf "after restart: %d nodes, buckeye %s\n" (Ns.count_nodes ns2)
+    (if Ns.exists ns2 (p "/hosts/buckeye") then "present" else "gone");
+  let s = Ns.stats ns2 in
+  Printf.printf "restart replayed %d log entries on top of generation %d\n"
+    s.Smalldb.recovery.Smalldb.replayed s.Smalldb.generation;
+  Ns.close ns2

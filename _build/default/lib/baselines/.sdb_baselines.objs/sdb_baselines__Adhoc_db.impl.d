@@ -1,0 +1,1 @@
+lib/baselines/adhoc_db.ml: Paged_store

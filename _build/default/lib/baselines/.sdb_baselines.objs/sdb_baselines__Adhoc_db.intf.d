@@ -1,0 +1,1 @@
+lib/baselines/adhoc_db.mli: Kv_intf

@@ -1,0 +1,1 @@
+lib/baselines/atomic_db.ml: Format List Paged_store Sdb_pickle Sdb_storage Sdb_wal

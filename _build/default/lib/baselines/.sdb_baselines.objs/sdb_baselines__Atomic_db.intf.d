@@ -1,0 +1,1 @@
+lib/baselines/atomic_db.mli: Kv_intf

@@ -1,0 +1,1 @@
+lib/baselines/kv_intf.ml: Sdb_storage

@@ -1,0 +1,1 @@
+lib/baselines/paged_store.ml: Bytes Char Int32 Int64 List Option Printf Sdb_storage String

@@ -1,0 +1,1 @@
+lib/baselines/paged_store.mli: Sdb_storage

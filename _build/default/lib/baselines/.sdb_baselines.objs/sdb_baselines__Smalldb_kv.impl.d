@@ -1,0 +1,1 @@
+lib/baselines/smalldb_kv.ml: Hashtbl Printexc Sdb_pickle Smalldb

@@ -1,0 +1,1 @@
+lib/baselines/smalldb_kv.mli: Hashtbl Kv_intf Sdb_pickle Sdb_storage Smalldb

@@ -1,0 +1,1 @@
+lib/baselines/textfile_db.ml: Buffer Hashtbl List Printf Sdb_storage String

@@ -1,0 +1,1 @@
+lib/baselines/textfile_db.mli: Kv_intf

@@ -1,0 +1,14 @@
+let technique = "ad-hoc paged file (in place)"
+let file_name = "adhoc.db"
+
+type t = Paged_store.t
+
+let open_ fs = Paged_store.open_ fs ~file:file_name ()
+let get = Paged_store.get
+let set t k v = Paged_store.apply t ~sync:true (Paged_store.prepare_set t k v)
+let remove t k = Paged_store.apply t ~sync:true (Paged_store.prepare_remove t k)
+let iter = Paged_store.iter
+let length = Paged_store.length
+let verify = Paged_store.verify
+let quiesce _ = ()
+let close = Paged_store.close

@@ -1,0 +1,18 @@
+(** The §2 ad-hoc technique: a custom paged disk file with specialized
+    access code, updated by overwriting pages in place.
+
+    "The performance of these databases is generally quite good for
+    updates, requiring typically one disk write per update" — and
+    indeed {!set} costs one positional page write plus one fsync when
+    the bucket has room (two writes when it overflows into a fresh
+    page).  But "updates are typically performed by overwriting
+    existing data in place.  This leaves the database quite vulnerable
+    to transient errors, requiring restoration of the database from a
+    backup copy": a crash that tears a page destroys previously
+    committed bindings, which {!verify} will report after recovery.
+    There is deliberately no commit protocol here — that is the point
+    of the baseline. *)
+
+include Kv_intf.S
+
+val file_name : string

@@ -1,0 +1,18 @@
+(** The §2 atomic-commit technique: "a naive implementation of atomic
+    commit will require two disk writes: one for the commit record (and
+    log entry) and one for updating the actual data ...has much better
+    reliability, and performs about a factor of two worse for updates"
+    than the ad-hoc scheme.
+
+    Every update appends a physical redo record (the full page images
+    it is about to write) to a log and fsyncs it — the commit — then
+    performs the in-place page writes and fsyncs the data file.
+    Recovery replays the whole log (page-image redo is idempotent), so
+    a torn data page is always repaired.  The log is trimmed once it
+    outgrows a threshold, only ever after the data file is fully
+    synced. *)
+
+include Kv_intf.S
+
+val data_file : string
+val log_file_name : string

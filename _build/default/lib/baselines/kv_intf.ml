@@ -1,0 +1,36 @@
+(** The common key-value interface behind which every §2 implementation
+    technique is benchmarked, so E7 compares like for like.
+
+    Keys and values are arbitrary strings (each implementation handles
+    its own escaping or framing).  [set]/[remove] must be durable when
+    they return; [get] reflects all completed updates. *)
+
+module type S = sig
+  type t
+
+  val technique : string
+  (** Human name, e.g. "text file rewrite". *)
+
+  val open_ : Sdb_storage.Fs.t -> (t, string) result
+  (** Open or create the database in [fs]; runs whatever recovery the
+      technique supports. *)
+
+  val get : t -> string -> string option
+  val set : t -> string -> string -> unit
+  val remove : t -> string -> unit
+  val iter : t -> (string -> string -> unit) -> unit
+  val length : t -> int
+
+  val quiesce : t -> unit
+  (** Bring the store to its long-running quiescent state — for the
+      checkpoint-based design this writes a checkpoint and empties the
+      log; for the others it is a no-op.  Benchmarks call it after bulk
+      population so steady-state costs are measured. *)
+
+  val verify : t -> (unit, string) result
+  (** Full integrity scan: [Error _] means the database is corrupt and
+      would need restoring from a backup — the §2 failure mode of the
+      in-place technique. *)
+
+  val close : t -> unit
+end

@@ -1,0 +1,140 @@
+module Fs = Sdb_storage.Fs
+
+let technique = "text file rewrite"
+let file_name = "database.txt"
+let temp_name = "database.txt.tmp"
+
+type t = { fs : Fs.t; table : (string, string) Hashtbl.t; mutable closed : bool }
+
+(* Backslash escaping keeps tabs and newlines inside keys/values from
+   breaking the line format. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      if s.[i] = '\\' && i + 1 < n then begin
+        (match s.[i + 1] with
+        | '\\' -> Buffer.add_char buf '\\'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'n' -> Buffer.add_char buf '\n'
+        | c -> Buffer.add_char buf c);
+        go (i + 2)
+      end
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+let parse_line line =
+  match String.index_opt line '\t' with
+  | None -> Error (Printf.sprintf "textfile_db: malformed line %S" line)
+  | Some i ->
+    Ok
+      ( unescape (String.sub line 0 i),
+        unescape (String.sub line (i + 1) (String.length line - i - 1)) )
+
+let render table =
+  let bindings =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf (escape k);
+      Buffer.add_char buf '\t';
+      Buffer.add_string buf (escape v);
+      Buffer.add_char buf '\n')
+    bindings;
+  Buffer.contents buf
+
+let open_ fs =
+  let table = Hashtbl.create 64 in
+  if fs.Fs.exists file_name then begin
+    match Fs.read_file fs file_name with
+    | exception Fs.Read_error { reason; _ } ->
+      Error (Printf.sprintf "textfile_db: unreadable: %s (restore from backup)" reason)
+    | contents ->
+      let lines = String.split_on_char '\n' contents in
+      let rec load = function
+        | [] | [ "" ] -> Ok ()
+        | line :: rest -> (
+          match parse_line line with
+          | Ok (k, v) ->
+            Hashtbl.replace table k v;
+            load rest
+          | Error e -> Error e)
+      in
+      (match load lines with
+      | Ok () ->
+        (* A leftover temp file from a crashed update is simply stale. *)
+        fs.Fs.remove temp_name;
+        Ok { fs; table; closed = false }
+      | Error e -> Error e)
+  end
+  else Ok { fs; table; closed = false }
+
+let check t = if t.closed then raise (Fs.Io_error "textfile_db: used after close")
+
+(* The whole-file rewrite with atomic rename: crash-safe, O(db size). *)
+let persist t =
+  Fs.write_file t.fs temp_name (render t.table);
+  t.fs.Fs.rename temp_name file_name
+
+let get t k =
+  check t;
+  Hashtbl.find_opt t.table k
+
+let set t k v =
+  check t;
+  Hashtbl.replace t.table k v;
+  persist t
+
+let remove t k =
+  check t;
+  if Hashtbl.mem t.table k then begin
+    Hashtbl.remove t.table k;
+    persist t
+  end
+
+let iter t f =
+  check t;
+  Hashtbl.iter f t.table
+
+let length t =
+  check t;
+  Hashtbl.length t.table
+
+let verify t =
+  check t;
+  if not (t.fs.Fs.exists file_name) then
+    if Hashtbl.length t.table = 0 then Ok () else Error "textfile_db: file missing"
+  else
+    match Fs.read_file t.fs file_name with
+    | exception Fs.Read_error { reason; _ } -> Error ("textfile_db: " ^ reason)
+    | contents -> (
+      let rec check_lines = function
+        | [] | [ "" ] -> Ok ()
+        | line :: rest -> (
+          match parse_line line with Ok _ -> check_lines rest | Error e -> Error e)
+      in
+      check_lines (String.split_on_char '\n' contents))
+
+let quiesce _ = ()
+let close t = t.closed <- true

@@ -1,0 +1,15 @@
+(** The Unix-style technique (§2): the whole database is an ordinary
+    text file, one ["key<TAB>value"] line per binding.
+
+    Reads parse the file once at open and serve from memory.  {e Every}
+    update rewrites the entire file to a temporary name, fsyncs it, and
+    atomically renames it into place — which is why "the reliability of
+    updates in the face of transient errors can be made quite good",
+    and why "it is generally not practicable to produce good
+    performance with this technique": the disk cost of one update is
+    proportional to the size of the whole database. *)
+
+include Kv_intf.S
+
+val file_name : string
+(** The database file ("database.txt"). *)

@@ -1,0 +1,1 @@
+lib/checkpoint/checkpoint_store.ml: List Printf Sdb_storage String

@@ -1,0 +1,1 @@
+lib/checkpoint/checkpoint_store.mli: Sdb_storage

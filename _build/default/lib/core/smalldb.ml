@@ -1,0 +1,683 @@
+module Pickle = Sdb_pickle.Pickle
+module Fs = Sdb_storage.Fs
+module Wal = Sdb_wal.Wal
+module Vlock = Sdb_vlock.Vlock
+module Store = Sdb_checkpoint.Checkpoint_store
+
+module type APP = sig
+  type state
+  type update
+
+  val name : string
+  val codec_state : state Pickle.t
+  val codec_update : update Pickle.t
+  val init : unit -> state
+  val apply : state -> update -> state
+end
+
+type checkpoint_policy =
+  | Manual
+  | Every_n_updates of int
+  | Log_bytes_exceeds of int
+
+type config = {
+  retain_previous : bool;
+  policy : checkpoint_policy;
+  log_recovery : [ `Stop_at_damage | `Skip_damaged ];
+  hard_error_fallback : bool;
+  archive_logs : bool;
+}
+
+let default_config =
+  {
+    retain_previous = false;
+    policy = Manual;
+    log_recovery = `Stop_at_damage;
+    hard_error_fallback = true;
+    archive_logs = false;
+  }
+
+type phase_times = {
+  verify_s : float;
+  pickle_s : float;
+  log_s : float;
+  apply_s : float;
+  ckpt_pickle_s : float;
+  ckpt_write_s : float;
+  restore_s : float;
+  replay_s : float;
+}
+
+type recovery_info = {
+  replayed : int;
+  skipped_damaged : int;
+  log_tail_discarded : bool;
+  used_previous_generation : bool;
+  completed_switch : bool;
+  removed_files : string list;
+}
+
+type stats = {
+  generation : int;
+  lsn : int;
+  updates_committed : int;
+  checkpoints_written : int;
+  log_entries : int;
+  log_bytes : int;
+  phase : phase_times;
+  recovery : recovery_info;
+}
+
+exception Poisoned
+exception Closed
+
+let fresh_recovery =
+  {
+    replayed = 0;
+    skipped_damaged = 0;
+    log_tail_discarded = false;
+    used_previous_generation = false;
+    completed_switch = false;
+    removed_files = [];
+  }
+
+module Make (App : APP) = struct
+  type meta = { app : string; base_lsn : int }
+
+  let codec_meta =
+    Pickle.record2 "smalldb.checkpoint_meta"
+      (Pickle.field "app" Pickle.string (fun m -> m.app))
+      (Pickle.field "base_lsn" Pickle.int (fun m -> m.base_lsn))
+      (fun app base_lsn -> { app; base_lsn })
+
+  let codec_blob = Pickle.pair codec_meta App.codec_state
+  let update_fp = Pickle.fingerprint App.codec_update
+
+  type t = {
+    fs : Fs.t;
+    config : config;
+    lock : Vlock.t;
+    ckpt_mutex : Mutex.t;  (* serializes checkpoints of both kinds *)
+    mutable state : App.state;
+    mutable wal : Wal.Writer.t;
+    mutable generation : int;
+    mutable lsn : int;
+    mutable committed : int;
+    mutable ckpts : int;
+    mutable closed : bool;
+    mutable poisoned : bool;
+    mutable recovery : recovery_info;
+    (* cumulative phase timings *)
+    mutable t_verify : float;
+    mutable t_pickle : float;
+    mutable t_log : float;
+    mutable t_apply : float;
+    mutable t_ckpt_pickle : float;
+    mutable t_ckpt_write : float;
+    mutable t_restore : float;
+    mutable t_replay : float;
+    subs_mutex : Mutex.t;
+    mutable subscribers : (int * (int -> App.update -> unit)) list;
+    mutable next_sub : int;
+  }
+
+  type subscription = int
+
+  let now = Unix.gettimeofday
+
+  let check_usable t =
+    if t.closed then raise Closed;
+    if t.poisoned then raise Poisoned
+
+  (* ---------------------------------------------------------------- *)
+  (* Opening                                                           *)
+
+  let make fs config state wal generation lsn recovery =
+    {
+      fs;
+      config;
+      lock = Vlock.create ();
+      ckpt_mutex = Mutex.create ();
+      state;
+      wal;
+      generation;
+      lsn;
+      committed = 0;
+      ckpts = 0;
+      closed = false;
+      poisoned = false;
+      recovery;
+      t_verify = 0.;
+      t_pickle = 0.;
+      t_log = 0.;
+      t_apply = 0.;
+      t_ckpt_pickle = 0.;
+      t_ckpt_write = 0.;
+      t_restore = 0.;
+      t_replay = 0.;
+      subs_mutex = Mutex.create ();
+      subscribers = [];
+      next_sub = 0;
+    }
+
+  let checkpoint_blob ~lsn state =
+    Pickle.to_string codec_blob ({ app = App.name; base_lsn = lsn }, state)
+
+  let create_fresh fs config =
+    let state = App.init () in
+    let blob = checkpoint_blob ~lsn:0 state in
+    Store.write_checkpoint fs ~version:0 blob;
+    let wal = Wal.Writer.create fs (Store.log_file 0) ~fingerprint:update_fp in
+    Store.commit ~archive_logs:config.archive_logs
+      ~retain_previous:config.retain_previous ~old_version:None ~new_version:0 fs;
+    Ok (make fs config state wal 0 0 fresh_recovery)
+
+  let load_checkpoint fs file =
+    match Fs.read_file fs file with
+    | exception Fs.Read_error { reason; _ } ->
+      Error (Printf.sprintf "checkpoint %s unreadable: %s" file reason)
+    | blob -> (
+      match Pickle.of_string codec_blob blob with
+      | Error m -> Error (Printf.sprintf "checkpoint %s: %s" file m)
+      | Ok (meta, state) ->
+        if not (String.equal meta.app App.name) then
+          Error
+            (Printf.sprintf "checkpoint %s belongs to application %S, not %S" file
+               meta.app App.name)
+        else Ok (meta, state))
+
+  let wal_policy = function
+    | `Stop_at_damage -> Wal.Reader.Stop_at_damage
+    | `Skip_damaged -> Wal.Reader.Skip_damaged
+
+  (* Replay one log over (state, lsn); apply errors are fatal because a
+     committed update must be applicable. *)
+  let replay fs config ~log ~state ~lsn =
+    let f (state, lsn) (entry : Wal.Reader.entry) =
+      let u = Pickle.decode App.codec_update entry.payload in
+      (App.apply state u, lsn + 1)
+    in
+    match
+      Wal.Reader.fold fs log ~fingerprint:update_fp
+        ~policy:(wal_policy config.log_recovery) ~init:(state, lsn) ~f
+    with
+    | Error e -> Error (Format.asprintf "log %s: %a" log Wal.pp_error e)
+    | Ok ((state, lsn), outcome) -> Ok (state, lsn, outcome)
+    | exception Pickle.Error m ->
+      Error (Printf.sprintf "log %s: undecodable committed entry: %s" log m)
+
+  let restore fs config (rcv : Store.recovery) =
+    let gen = rcv.Store.current in
+    let t0 = now () in
+    let current_ckpt = load_checkpoint fs gen.Store.checkpoint_file in
+    let via_previous reason =
+      match (config.hard_error_fallback, rcv.Store.previous) with
+      | true, Some prev -> (
+        match load_checkpoint fs prev.Store.checkpoint_file with
+        | Error e ->
+          Error
+            (Printf.sprintf "%s; previous generation also unusable: %s" reason e)
+        | Ok (meta, state) -> (
+          match
+            replay fs config ~log:prev.Store.log_file ~state ~lsn:meta.base_lsn
+          with
+          | Error e -> Error (Printf.sprintf "%s; previous log: %s" reason e)
+          | Ok (state, lsn, _outcome) -> Ok (meta, state, lsn, true)))
+      | _ -> Error reason
+    in
+    let loaded =
+      match current_ckpt with
+      | Ok (meta, state) -> Ok (meta, state, meta.base_lsn, false)
+      | Error reason -> via_previous reason
+    in
+    match loaded with
+    | Error e -> Error e
+    | Ok (_meta, state, lsn, used_previous) -> (
+      let t1 = now () in
+      match replay fs config ~log:gen.Store.log_file ~state ~lsn with
+      | Error e -> Error e
+      | Ok (_, _, outcome)
+        when outcome.Wal.Reader.entries_beyond_damage > 0 ->
+        (* Valid committed entries exist beyond the damage: truncating
+           would silently lose them.  This is a hard error (§4), not a
+           torn tail — escalate instead of guessing. *)
+        Error
+          (Printf.sprintf
+             "log %s: interior damage with %d committed entries beyond it; use \
+              Skip_damaged recovery or restore from a replica"
+             gen.Store.log_file outcome.Wal.Reader.entries_beyond_damage)
+      | Ok (state, lsn, outcome) ->
+        let t2 = now () in
+        let entries_in_file =
+          outcome.Wal.Reader.entries_read + outcome.Wal.Reader.skipped
+        in
+        let wal =
+          Wal.Writer.reopen fs gen.Store.log_file ~fingerprint:update_fp
+            ~valid_length:outcome.Wal.Reader.valid_length ~entries:entries_in_file
+        in
+        let recovery =
+          {
+            replayed = outcome.Wal.Reader.entries_read;
+            skipped_damaged = outcome.Wal.Reader.skipped;
+            log_tail_discarded = outcome.Wal.Reader.stopped_early <> None;
+            used_previous_generation = used_previous;
+            completed_switch = rcv.Store.completed_switch;
+            removed_files = rcv.Store.removed_files;
+          }
+        in
+        let t = make fs config state wal gen.Store.version lsn recovery in
+        t.t_restore <- t1 -. t0;
+        t.t_replay <- t2 -. t1;
+        Ok t)
+
+  (* ---------------------------------------------------------------- *)
+  (* Checkpointing                                                     *)
+
+  let checkpoint_locked t =
+    let t0 = now () in
+    let blob = checkpoint_blob ~lsn:t.lsn t.state in
+    let t1 = now () in
+    let next = t.generation + 1 in
+    (try
+       Store.write_checkpoint t.fs ~version:next blob;
+       Wal.Writer.close t.wal;
+       let wal = Wal.Writer.create t.fs (Store.log_file next) ~fingerprint:update_fp in
+       Store.commit ~archive_logs:t.config.archive_logs
+         ~retain_previous:t.config.retain_previous ~old_version:(Some t.generation)
+         ~new_version:next t.fs;
+       t.wal <- wal;
+       t.generation <- next;
+       t.ckpts <- t.ckpts + 1
+     with e ->
+       t.poisoned <- true;
+       raise e);
+    let t2 = now () in
+    t.t_ckpt_pickle <- t.t_ckpt_pickle +. (t1 -. t0);
+    t.t_ckpt_write <- t.t_ckpt_write +. (t2 -. t1)
+
+  let checkpoint t =
+    check_usable t;
+    Mutex.lock t.ckpt_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.ckpt_mutex)
+      (fun () ->
+        Vlock.acquire t.lock Vlock.Update;
+        Fun.protect
+          ~finally:(fun () -> Vlock.release t.lock Vlock.Update)
+          (fun () ->
+            check_usable t;
+            checkpoint_locked t))
+
+  (* The fuzzy checkpoint: snapshot cheaply (the state is immutable),
+     pickle with no lock held, then briefly take the update lock to
+     carry the few concurrently-committed entries into the new
+     generation's log and commit the switch. *)
+  let checkpoint_concurrent t =
+    check_usable t;
+    if t.config.archive_logs then
+      invalid_arg "Smalldb.checkpoint_concurrent: incompatible with archive_logs";
+    Mutex.lock t.ckpt_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.ckpt_mutex)
+      (fun () ->
+        check_usable t;
+        (* Phase 1: O(1) snapshot.  A momentary update lock pins the
+           (state, lsn, log length) triple consistently. *)
+        let snapshot, snap_lsn, snap_off =
+          Vlock.with_lock t.lock Vlock.Update (fun () ->
+              (t.state, t.lsn, Wal.Writer.length t.wal))
+        in
+        (* Phase 2: the expensive work, with updates running freely. *)
+        let t0 = now () in
+        let blob = checkpoint_blob ~lsn:snap_lsn snapshot in
+        let t1 = now () in
+        let next = t.generation + 1 in
+        (try
+           Store.write_checkpoint t.fs ~version:next blob;
+           (* Phase 3: brief exclusion, proportional to the updates
+              that arrived during phase 2. *)
+           Vlock.acquire t.lock Vlock.Update;
+           Fun.protect
+             ~finally:(fun () -> Vlock.release t.lock Vlock.Update)
+             (fun () ->
+               let wal' =
+                 Wal.Writer.create t.fs (Store.log_file next) ~fingerprint:update_fp
+               in
+               (* Blit the tail committed since the snapshot — raw
+                 frames, O(updates during the pickle), no decoding. *)
+               let tail_count = t.lsn - snap_lsn in
+               let tail_len = Wal.Writer.length t.wal - snap_off in
+               if tail_len > 0 then begin
+                 let r = t.fs.Fs.open_reader (Store.log_file t.generation) in
+                 Fun.protect
+                   ~finally:(fun () -> r.Fs.r_close ())
+                   (fun () ->
+                     r.Fs.r_seek snap_off;
+                     let buf = Bytes.create tail_len in
+                     let rec fill got =
+                       if got < tail_len then begin
+                         let n = r.Fs.r_read buf got (tail_len - got) in
+                         if n = 0 then
+                           raise (Fs.Io_error "checkpoint_concurrent: short tail read");
+                         fill (got + n)
+                       end
+                     in
+                     fill 0;
+                     Wal.Writer.append_raw_frames wal'
+                       (Bytes.unsafe_to_string buf)
+                       ~count:tail_count);
+                 Wal.Writer.sync wal'
+               end;
+               Store.commit ~archive_logs:false
+                 ~retain_previous:t.config.retain_previous
+                 ~old_version:(Some t.generation) ~new_version:next t.fs;
+               Wal.Writer.close t.wal;
+               t.wal <- wal';
+               t.generation <- next;
+               t.ckpts <- t.ckpts + 1)
+         with e ->
+           t.poisoned <- true;
+           raise e);
+        let t2 = now () in
+        t.t_ckpt_pickle <- t.t_ckpt_pickle +. (t1 -. t0);
+        t.t_ckpt_write <- t.t_ckpt_write +. (t2 -. t1))
+
+  let due_for_checkpoint t =
+    match t.config.policy with
+    | Manual -> false
+    | Every_n_updates n -> n > 0 && t.committed mod n = 0
+    | Log_bytes_exceeds limit -> Wal.Writer.length t.wal > limit
+
+  let maybe_auto_checkpoint t = if due_for_checkpoint t then checkpoint t
+
+  let subscribe t f =
+    Mutex.lock t.subs_mutex;
+    let id = t.next_sub in
+    t.next_sub <- id + 1;
+    t.subscribers <- t.subscribers @ [ (id, f) ];
+    Mutex.unlock t.subs_mutex;
+    id
+
+  let unsubscribe t id =
+    Mutex.lock t.subs_mutex;
+    t.subscribers <- List.filter (fun (i, _) -> i <> id) t.subscribers;
+    Mutex.unlock t.subs_mutex
+
+  let notify t lsn u =
+    let subs =
+      Mutex.lock t.subs_mutex;
+      let s = t.subscribers in
+      Mutex.unlock t.subs_mutex;
+      s
+    in
+    List.iter (fun (_, f) -> f lsn u) subs
+
+  (* ---------------------------------------------------------------- *)
+  (* Enquiries and updates                                             *)
+
+  let query t f =
+    check_usable t;
+    Vlock.with_lock t.lock Vlock.Shared (fun () -> f t.state)
+
+  let query_with_lsn t f =
+    check_usable t;
+    Vlock.with_lock t.lock Vlock.Shared (fun () -> (f t.state, t.lsn))
+
+  (* The paper's three steps under the paper's locks:
+     update lock for verify + log write (enquiries keep running),
+     exclusive only for the memory mutation. *)
+  let update_checked t ~precondition u =
+    check_usable t;
+    Vlock.acquire t.lock Vlock.Update;
+    let verdict =
+      match
+        let t0 = now () in
+        let v = precondition t.state in
+        t.t_verify <- t.t_verify +. (now () -. t0);
+        v
+      with
+      | Error e ->
+        Vlock.release t.lock Vlock.Update;
+        Error e
+      | Ok () ->
+        (let t0 = now () in
+         let payload = Pickle.encode App.codec_update u in
+         let t1 = now () in
+         (try ignore (Wal.Writer.append_sync t.wal payload)
+          with e ->
+            (* Unknown whether the entry reached the disk: memory and
+               disk may disagree after this, so refuse further use. *)
+            t.poisoned <- true;
+            Vlock.release t.lock Vlock.Update;
+            raise e);
+         let t2 = now () in
+         t.t_pickle <- t.t_pickle +. (t1 -. t0);
+         t.t_log <- t.t_log +. (t2 -. t1));
+        (* Committed: switch to exclusive for the memory mutation. *)
+        Vlock.upgrade t.lock;
+        (try
+           let t0 = now () in
+           t.state <- App.apply t.state u;
+           t.t_apply <- t.t_apply +. (now () -. t0)
+         with e ->
+           t.poisoned <- true;
+           Vlock.release t.lock Vlock.Exclusive;
+           raise e);
+        t.lsn <- t.lsn + 1;
+        t.committed <- t.committed + 1;
+        let lsn = t.lsn - 1 in
+        Vlock.release t.lock Vlock.Exclusive;
+        notify t lsn u;
+        Ok ()
+    in
+    (match verdict with Ok () -> maybe_auto_checkpoint t | Error _ -> ());
+    verdict
+
+  let update t u =
+    match update_checked t ~precondition:(fun _ -> Ok ()) u with
+    | Ok () -> ()
+    | Error _ -> assert false (* precondition above cannot fail *)
+
+  let update_batch t updates =
+    check_usable t;
+    if updates <> [] then begin
+      Vlock.acquire t.lock Vlock.Update;
+      (let t0 = now () in
+       let payloads = List.map (Pickle.encode App.codec_update) updates in
+       let t1 = now () in
+       (try
+          List.iter (fun p -> ignore (Wal.Writer.append t.wal p)) payloads;
+          Wal.Writer.sync t.wal
+        with e ->
+          t.poisoned <- true;
+          Vlock.release t.lock Vlock.Update;
+          raise e);
+       let t2 = now () in
+       t.t_pickle <- t.t_pickle +. (t1 -. t0);
+       t.t_log <- t.t_log +. (t2 -. t1));
+      Vlock.upgrade t.lock;
+      (try
+         let t0 = now () in
+         List.iter (fun u -> t.state <- App.apply t.state u) updates;
+         t.t_apply <- t.t_apply +. (now () -. t0)
+       with e ->
+         t.poisoned <- true;
+         Vlock.release t.lock Vlock.Exclusive;
+         raise e);
+      let n = List.length updates in
+      let base = t.lsn in
+      t.lsn <- t.lsn + n;
+      t.committed <- t.committed + n;
+      Vlock.release t.lock Vlock.Exclusive;
+      List.iteri (fun i u -> notify t (base + i) u) updates;
+      maybe_auto_checkpoint t
+    end
+
+  (* ---------------------------------------------------------------- *)
+  (* Introspection                                                     *)
+
+  let stats t =
+    Vlock.with_lock t.lock Vlock.Shared (fun () ->
+        {
+          generation = t.generation;
+          lsn = t.lsn;
+          updates_committed = t.committed;
+          checkpoints_written = t.ckpts;
+          log_entries = Wal.Writer.entries t.wal;
+          log_bytes = Wal.Writer.length t.wal;
+          phase =
+            {
+              verify_s = t.t_verify;
+              pickle_s = t.t_pickle;
+              log_s = t.t_log;
+              apply_s = t.t_apply;
+              ckpt_pickle_s = t.t_ckpt_pickle;
+              ckpt_write_s = t.t_ckpt_write;
+              restore_s = t.t_restore;
+              replay_s = t.t_replay;
+            };
+          recovery = t.recovery;
+        })
+
+  let fold_log t ~init ~f =
+    check_usable t;
+    (* The update lock pins the log file name and the LSN base without
+       blocking enquiries. *)
+    Vlock.with_lock t.lock Vlock.Update (fun () ->
+        let log = Store.log_file t.generation in
+        let base = t.lsn - Wal.Writer.entries t.wal in
+        match
+          Wal.Reader.fold t.fs log ~fingerprint:update_fp
+            ~policy:Wal.Reader.Stop_at_damage ~init ~f:(fun acc entry ->
+              let u = Pickle.decode App.codec_update entry.Wal.Reader.payload in
+              f acc (base + entry.Wal.Reader.index) u)
+        with
+        | Ok (acc, _outcome) -> acc
+        | Error e -> raise (Fs.Io_error (Format.asprintf "%a" Wal.pp_error e)))
+
+  let log_suffix t ~from =
+    check_usable t;
+    Vlock.with_lock t.lock Vlock.Update (fun () ->
+        let base = t.lsn - Wal.Writer.entries t.wal in
+        if from < base then None
+        else begin
+          let log = Store.log_file t.generation in
+          match
+            Wal.Reader.fold t.fs log ~fingerprint:update_fp
+              ~policy:Wal.Reader.Stop_at_damage ~init:[] ~f:(fun acc entry ->
+                let lsn = base + entry.Wal.Reader.index in
+                if lsn >= from then
+                  (lsn, Pickle.decode App.codec_update entry.Wal.Reader.payload) :: acc
+                else acc)
+          with
+          | Ok (acc, _outcome) -> Some (List.rev acc)
+          | Error e -> raise (Fs.Io_error (Format.asprintf "%a" Wal.pp_error e))
+        end)
+
+  module History = struct
+    (* The archive is usable only when it is contiguous from the very
+       first generation and meets the current log exactly: archive logs
+       0..g-1 followed by the live log of generation g. *)
+    let plan t =
+      let archives = Store.archived_logs t.fs in
+      let expected = List.init (List.length archives) Fun.id in
+      if List.map fst archives <> expected then
+        Error "history: archive is not contiguous from generation 0"
+      else if List.length archives <> t.generation then
+        Error
+          (Printf.sprintf
+             "history: %d archived logs but current generation is %d (archiving \
+              was off at some point)"
+             (List.length archives) t.generation)
+      else Ok (List.map snd archives @ [ Store.log_file t.generation ])
+
+    (* Fold [f] over one log file; damage or truncation in an archive is
+       corruption of history, not a recoverable tail. *)
+    let fold_file t ~log ~strict acc lsn f =
+      match
+        Wal.Reader.fold t.fs log ~fingerprint:update_fp
+          ~policy:Wal.Reader.Stop_at_damage ~init:(acc, lsn)
+          ~f:(fun (acc, lsn) entry ->
+            let u = Pickle.decode App.codec_update entry.Wal.Reader.payload in
+            (f acc lsn u, lsn + 1))
+      with
+      | Error e -> Error (Format.asprintf "history: %s: %a" log Wal.pp_error e)
+      | Ok ((acc, lsn), outcome) ->
+        if strict && outcome.Wal.Reader.stopped_early <> None then
+          Error (Printf.sprintf "history: archived log %s is damaged" log)
+        else Ok (acc, lsn)
+      | exception Pickle.Error m -> Error (Printf.sprintf "history: %s: %s" log m)
+
+    let fold_all t ~init ~f =
+      check_usable t;
+      Vlock.with_lock t.lock Vlock.Update (fun () ->
+          match plan t with
+          | Error e -> Error e
+          | Ok logs ->
+            let current = Store.log_file t.generation in
+            let rec go acc lsn = function
+              | [] -> Ok (acc, lsn)
+              | log :: rest -> (
+                match
+                  fold_file t ~log ~strict:(not (String.equal log current)) acc lsn f
+                with
+                | Error e -> Error e
+                | Ok (acc, lsn) -> go acc lsn rest)
+            in
+            go init 0 logs)
+
+    let available t =
+      match fold_all t ~init:() ~f:(fun () _ _ -> ()) with
+      | Ok ((), lsn) -> lsn = t.lsn
+      | Error _ -> false
+
+    let fold t ~init ~f =
+      match fold_all t ~init ~f with
+      | Ok (acc, lsn) ->
+        if lsn <> t.lsn then
+          Error
+            (Printf.sprintf "history: trail holds %d updates but lsn is %d" lsn t.lsn)
+        else Ok acc
+      | Error e -> Error e
+
+    let state_at t ~lsn =
+      if lsn < 0 || lsn > t.lsn then
+        Error (Printf.sprintf "history: lsn %d outside [0, %d]" lsn t.lsn)
+      else
+        match
+          fold_all t ~init:(App.init ()) ~f:(fun state at u ->
+              if at < lsn then App.apply state u else state)
+        with
+        | Ok (state, total) ->
+          if total < lsn then Error "history: trail shorter than requested lsn"
+          else Ok state
+        | Error e -> Error e
+  end
+
+  let close t =
+    if not t.closed then begin
+      Vlock.acquire t.lock Vlock.Update;
+      t.closed <- true;
+      (try Wal.Writer.close t.wal with Fs.Io_error _ -> ());
+      Vlock.release t.lock Vlock.Update
+    end
+
+  let open_ ?(config = default_config) fs =
+    match
+      Store.recover ~archive_logs:config.archive_logs
+        ~retain_previous:config.retain_previous fs
+    with
+    | Error e -> Error e
+    | Ok None -> create_fresh fs config
+    | Ok (Some rcv) -> (
+      match restore fs config rcv with
+      | Error e -> Error e
+      | Ok t ->
+        (* After a hard-error restore the current checkpoint file is
+           damaged; write a fresh consistent generation right away. *)
+        if t.recovery.used_previous_generation then checkpoint t;
+        Ok t)
+
+  let open_exn ?config fs =
+    match open_ ?config fs with Ok t -> t | Error e -> failwith e
+end

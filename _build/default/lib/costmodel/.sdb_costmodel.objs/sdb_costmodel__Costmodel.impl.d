@@ -1,0 +1,1 @@
+lib/costmodel/costmodel.ml: Format Sdb_pickle Sdb_rpc Sdb_storage

@@ -1,0 +1,1 @@
+lib/costmodel/costmodel.mli: Format Sdb_storage

@@ -1,0 +1,1 @@
+lib/multidb/multidb.ml: Array Format List Printf Sdb_pickle Sdb_storage Sdb_vlock Sdb_wal Smalldb String

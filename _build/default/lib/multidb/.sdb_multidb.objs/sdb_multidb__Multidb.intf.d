@@ -1,0 +1,1 @@
+lib/multidb/multidb.mli: Sdb_storage Smalldb

@@ -1,0 +1,1 @@
+lib/nameserver/name_glob.ml: List Name_path String

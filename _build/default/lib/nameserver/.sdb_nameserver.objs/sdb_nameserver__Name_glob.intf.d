@@ -1,0 +1,1 @@
+lib/nameserver/name_glob.mli: Name_path

@@ -1,0 +1,1 @@
+lib/nameserver/name_path.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/nameserver/nameserver.ml: Fun Hashtbl List Name_glob Name_path Ns_data Option Printf Sdb_pickle Smalldb String

@@ -1,0 +1,1 @@
+lib/nameserver/nameserver.mli: Name_glob Name_path Ns_data Sdb_pickle Sdb_storage Smalldb

@@ -1,0 +1,1 @@
+lib/nameserver/ns_data.ml: Format Hashtbl List Name_path Option Sdb_pickle String

@@ -1,0 +1,1 @@
+lib/nameserver/ns_data.mli: Format Hashtbl Name_path Sdb_pickle

@@ -1,0 +1,29 @@
+(** Hierarchical names.
+
+    A name is a sequence of non-empty string components; the textual
+    form joins them with ['/'] and leads with ['/'] (["/"] is the
+    root, the empty sequence). *)
+
+type t = string list
+
+val root : t
+val is_root : t -> bool
+
+val component_ok : string -> bool
+(** Non-empty and free of ['/']. *)
+
+val validate : t -> (t, string) result
+
+val of_string : string -> (t, string) result
+(** Accepts ["/a/b"], ["a/b"], ["/"]; rejects empty components. *)
+
+val to_string : t -> string
+val parent : t -> t option
+(** [None] for the root. *)
+
+val basename : t -> string option
+val append : t -> string -> t
+val is_prefix : prefix:t -> t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

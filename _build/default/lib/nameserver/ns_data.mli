@@ -1,0 +1,69 @@
+(** The name server's in-memory data structure and its pure operations.
+
+    "The virtual memory data structure for the name server's database
+    consists primarily of a tree of hash tables.  The tables are
+    indexed by strings, and deliver values that are further hash
+    tables" (§3).  Each node additionally carries an optional string
+    value, so the structure is a general name-to-value mapping whose
+    values are trees with string-labelled arcs. *)
+
+type node = {
+  mutable value : string option;
+  children : (string, node) Hashtbl.t;
+}
+(** The live, mutable representation. *)
+
+type tree = Tree of { tvalue : string option; tchildren : (string * tree) list }
+(** The immutable exchange representation used in update parameters,
+    exports, and over RPC.  Children are kept sorted by label so equal
+    trees have equal pickles. *)
+
+val codec_node : node Sdb_pickle.Pickle.t
+val codec_tree : tree Sdb_pickle.Pickle.t
+
+val empty_node : unit -> node
+val leaf : string option -> tree
+val tree : ?value:string -> (string * tree) list -> tree
+
+(** {1 Navigation} *)
+
+val find : node -> Name_path.t -> node option
+val mem : node -> Name_path.t -> bool
+val ensure : node -> Name_path.t -> node
+(** Find the node, creating missing intermediate nodes (valueless). *)
+
+(** {1 Mutation (used by [apply])} *)
+
+val set_value : node -> Name_path.t -> string option -> unit
+val delete_subtree : node -> Name_path.t -> unit
+(** Deleting the root clears it; deleting an absent path is a no-op. *)
+
+val graft : node -> Name_path.t -> tree -> unit
+(** Replace the subtree at the path with a materialization of [tree],
+    creating intermediates. *)
+
+(** {1 Conversion} *)
+
+val materialize : tree -> node
+val snapshot : ?depth:int -> node -> tree
+(** [depth] bounds descent; [depth:0] is just the node's value. *)
+
+(** {1 Enumeration} *)
+
+val fold_bindings :
+  ?prune:(Name_path.t -> bool) -> node ->
+  init:'acc -> f:('acc -> Name_path.t -> string option -> 'acc) -> 'acc
+(** Depth-first fold over every node (root excluded), visiting children
+    in sorted label order.  [prune p] returning [false] skips the node
+    at [p] and its whole subtree — how glob search avoids walking the
+    world. *)
+
+(** {1 Measures and comparison} *)
+
+val count_nodes : node -> int
+val weight_bytes : node -> int
+(** Rough memory footprint: labels + values, for benchmark sizing. *)
+
+val equal_tree : tree -> tree -> bool
+val equal_node : node -> node -> bool
+val pp_tree : Format.formatter -> tree -> unit

@@ -1,0 +1,1 @@
+lib/pickle/descr.ml: Digest List Printf String

@@ -1,0 +1,1 @@
+lib/pickle/descr.mli:

@@ -1,0 +1,1 @@
+lib/pickle/pickle.ml: Array Atomic Buffer Bytes Char Descr Digest Hashtbl Int64 Lazy List Obj Option Printf Result Sdb_util String

@@ -1,0 +1,1 @@
+lib/replica/replica.ml: Digest List Option Printf Sdb_nameserver Sdb_pickle Sdb_rpc Smalldb String

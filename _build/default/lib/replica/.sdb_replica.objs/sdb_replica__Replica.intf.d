@@ -1,0 +1,1 @@
+lib/replica/replica.mli: Sdb_nameserver Sdb_rpc Sdb_storage

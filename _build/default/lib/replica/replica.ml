@@ -1,0 +1,126 @@
+module Ns = Sdb_nameserver.Nameserver
+module Ns_data = Sdb_nameserver.Ns_data
+module Proto = Sdb_rpc.Ns_protocol
+module Rpc = Sdb_rpc.Rpc
+module P = Sdb_pickle.Pickle
+
+type peer = {
+  p_id : string;
+  mutable p_client : Proto.Client.t;
+  mutable p_acked : int;  (* local LSNs below this are known applied *)
+  mutable p_reachable : bool;
+}
+
+type peer_report = { peer_id : string; reachable : bool; backlog : int }
+
+type t = {
+  replica_id : string;
+  ns : Ns.t;
+  mutable peer_list : peer list;
+  mutable subscription : Ns.Db.subscription option;
+}
+
+(* Forward one update through the peer's typed surface. *)
+let push_update client (u : Ns.update) =
+  match u with
+  | Ns.Set_value (p, v) -> Proto.Client.set_value client p v
+  | Ns.Write_subtree (p, tree) -> Proto.Client.write_subtree client p tree
+  | Ns.Delete_subtree p -> Proto.Client.delete_subtree client p
+  | Ns.Create p -> Proto.Client.create_name client p
+
+(* Eager propagation rides the engine's committed-update stream, so
+   every update reaches the peers no matter which code path committed
+   it. *)
+let on_commit t lsn u =
+  List.iter
+    (fun peer ->
+      (* Only peers already at the tip can take this update directly;
+         stragglers keep their ordered backlog for anti-entropy. *)
+      if peer.p_reachable && peer.p_acked = lsn then
+        match push_update peer.p_client u with
+        | () -> peer.p_acked <- lsn + 1
+        | exception Rpc.Rpc_error _ -> peer.p_reachable <- false)
+    t.peer_list
+
+let create ~id ns =
+  let t = { replica_id = id; ns; peer_list = []; subscription = None } in
+  t.subscription <- Some (Ns.Db.subscribe (Ns.db ns) (fun lsn u -> on_commit t lsn u));
+  t
+
+let id t = t.replica_id
+let local t = t.ns
+
+let local_lsn t = (Ns.stats t.ns).Smalldb.lsn
+
+let add_peer ?acked_lsn t ~id client =
+  let acked = Option.value acked_lsn ~default:(local_lsn t) in
+  t.peer_list <-
+    t.peer_list @ [ { p_id = id; p_client = client; p_acked = acked; p_reachable = true } ]
+
+let reconnect t ~id client =
+  match List.find_opt (fun p -> String.equal p.p_id id) t.peer_list with
+  | None -> invalid_arg (Printf.sprintf "Replica.reconnect: unknown peer %S" id)
+  | Some p ->
+    p.p_client <- client;
+    p.p_reachable <- true
+
+let update t u = Ns.Db.update (Ns.db t.ns) u
+
+let set_value t path v = update t (Ns.Set_value (path, v))
+let delete_subtree t path = update t (Ns.Delete_subtree path)
+
+let full_transfer t peer =
+  let tree, lsn = Ns.snapshot_with_lsn t.ns in
+  match Proto.Client.write_subtree peer.p_client [] tree with
+  | () ->
+    peer.p_acked <- lsn;
+    peer.p_reachable <- true
+  | exception Rpc.Rpc_error _ -> peer.p_reachable <- false
+
+let catch_up t peer =
+  let tip = local_lsn t in
+  if peer.p_acked < tip then begin
+    match Ns.updates_since t.ns peer.p_acked with
+    | None -> full_transfer t peer
+    | Some entries -> (
+      try
+        List.iter
+          (fun (lsn, u) ->
+            push_update peer.p_client u;
+            peer.p_acked <- lsn + 1)
+          entries;
+        peer.p_reachable <- true
+      with Rpc.Rpc_error _ -> peer.p_reachable <- false)
+  end
+  else peer.p_reachable <- true
+
+let anti_entropy t = List.iter (catch_up t) t.peer_list
+
+let peers t =
+  let tip = local_lsn t in
+  List.map
+    (fun p ->
+      { peer_id = p.p_id; reachable = p.p_reachable; backlog = max 0 (tip - p.p_acked) })
+    t.peer_list
+
+let digest ns =
+  let tree, _lsn = Ns.snapshot_with_lsn ns in
+  Digest.string (P.encode Ns_data.codec_tree tree)
+
+let converged_with t peer_client =
+  match Proto.Client.digest peer_client with
+  | peer_digest -> String.equal (digest t.ns) peer_digest
+  | exception Rpc.Rpc_error _ -> false
+
+let clone_from peer_client fs =
+  match Proto.Client.snapshot peer_client with
+  | exception Rpc.Rpc_error m -> Error ("clone_from: " ^ m)
+  | tree, _lsn -> (
+    match Ns.open_ fs with
+    | Error e -> Error e
+    | Ok ns ->
+      Ns.write_subtree ns [] tree;
+      (* A checkpoint makes the transferred state durable in one
+         generation instead of one giant log entry. *)
+      Ns.checkpoint ns;
+      Ok ns)

@@ -1,0 +1,72 @@
+(** Name-server replication (§4).
+
+    The paper's name server "already replicate[s] the database on
+    multiple name servers spread across the network" and responds "to
+    a hard error on a particular name server replica by restoring its
+    data from another replica.  This causes us to lose only those
+    updates that had been applied to the damaged replica but not
+    propagated to any other replica."
+
+    The model here matches that description: each replica accepts
+    client updates locally (durably, through its own log) and eagerly
+    pushes them to its peers over RPC; a peer that is unreachable or
+    behind is caught up later by {!anti_entropy}, which replays the
+    local log suffix the peer is missing — or, when a checkpoint has
+    already absorbed that history, ships a full snapshot.  Updates are
+    propagated in commit order per origin; concurrent updates at
+    different origins converge because the name-server update
+    operations are idempotent last-writer assignments on disjoint or
+    re-grafted subtrees.  (The richer reconciliation of Lampson's
+    global name service is out of this paper's scope.) *)
+
+type t
+
+type peer_report = {
+  peer_id : string;
+  reachable : bool;
+  backlog : int;  (** local updates not yet acknowledged by this peer *)
+}
+
+val create : id:string -> Sdb_nameserver.Nameserver.t -> t
+(** Wrap a local name server as a replica.  Propagation subscribes to
+    the engine's committed-update stream, so updates made through any
+    path — {!update}, the [Nameserver] API, or an RPC handler — are
+    pushed to peers. *)
+
+val id : t -> string
+val local : t -> Sdb_nameserver.Nameserver.t
+
+val add_peer : ?acked_lsn:int -> t -> id:string -> Sdb_rpc.Ns_protocol.Client.t -> unit
+(** Register a peer.  [acked_lsn] is the local LSN the peer is already
+    known to have (default: the current tip, i.e. the peer is up to
+    date).  Pass [~acked_lsn:0] for an empty peer that must be seeded
+    by the next {!anti_entropy}. *)
+
+val reconnect : t -> id:string -> Sdb_rpc.Ns_protocol.Client.t -> unit
+(** Replace a known peer's (failed) connection, keeping its
+    acknowledged position, and mark it reachable again. *)
+
+val update : t -> Sdb_nameserver.Nameserver.update -> unit
+(** Commit locally (one log write); the subscription then pushes to
+    every reachable, up-to-date peer.  Push failures mark the peer
+    unreachable; the update is never lost locally. *)
+
+val set_value : t -> Sdb_nameserver.Name_path.t -> string option -> unit
+val delete_subtree : t -> Sdb_nameserver.Name_path.t -> unit
+
+val anti_entropy : t -> unit
+(** Catch every peer up: replay the log suffix it is missing, or ship
+    a full snapshot when the log no longer covers it.  Marks peers
+    reachable again on success. *)
+
+val peers : t -> peer_report list
+
+val converged_with : t -> Sdb_rpc.Ns_protocol.Client.t -> bool
+(** Digest comparison with a peer — the long-term consistency check. *)
+
+val digest : Sdb_nameserver.Nameserver.t -> string
+
+val clone_from :
+  Sdb_rpc.Ns_protocol.Client.t -> Sdb_storage.Fs.t -> (Sdb_nameserver.Nameserver.t, string) result
+(** Hard-error recovery: rebuild a replica's database from a peer's
+    snapshot into a fresh store, then checkpoint it. *)

@@ -1,0 +1,1 @@
+lib/rpc/ns_protocol.ml: Digest Fun Rpc Sdb_nameserver Sdb_pickle Smalldb

@@ -1,0 +1,1 @@
+lib/rpc/ns_protocol.mli: Rpc Sdb_nameserver

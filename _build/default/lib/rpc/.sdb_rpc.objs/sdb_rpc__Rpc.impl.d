@@ -1,0 +1,1 @@
+lib/rpc/rpc.ml: Atomic Bytes Condition Fun Hashtbl Int32 List Mutex Printexc Printf Queue Sdb_pickle String Sys Thread Unix

@@ -1,0 +1,109 @@
+module P = Sdb_pickle.Pickle
+module Ns = Sdb_nameserver.Nameserver
+module Ns_data = Sdb_nameserver.Ns_data
+
+let codec_path = P.conv ~name:"ns.path" Fun.id Fun.id (P.list P.string)
+let codec_value = P.option P.string
+let codec_tree = Ns_data.codec_tree
+let codec_update = Ns.codec_update
+
+let handlers ns =
+  let h = Rpc.Server.handler in
+  [
+    h ~meth:"lookup" codec_path codec_value (fun p -> Ns.lookup ns p);
+    h ~meth:"exists" codec_path P.bool (fun p -> Ns.exists ns p);
+    h ~meth:"list_children" codec_path
+      (P.option (P.list P.string))
+      (fun p -> Ns.list_children ns p);
+    h ~meth:"export"
+      (P.pair codec_path (P.option P.int))
+      (P.option codec_tree)
+      (fun (p, depth) ->
+        match depth with None -> Ns.export ns p | Some d -> Ns.export ~depth:d ns p);
+    h ~meth:"count_nodes" P.unit P.int (fun () -> Ns.count_nodes ns);
+    h ~meth:"enumerate" codec_path
+      (P.list (P.pair codec_path codec_value))
+      (fun p -> Ns.enumerate ns p);
+    h ~meth:"find" P.string
+      (P.result (P.list (P.pair codec_path codec_value)) P.string)
+      (fun pattern ->
+        match Sdb_nameserver.Name_glob.compile pattern with
+        | Ok glob -> Ok (Ns.find ns glob)
+        | Error e -> Error e);
+    h ~meth:"set_value" (P.pair codec_path codec_value) P.unit (fun (p, v) ->
+        Ns.set_value ns p v);
+    h ~meth:"write_subtree" (P.pair codec_path codec_tree) P.unit (fun (p, t) ->
+        Ns.write_subtree ns p t);
+    h ~meth:"delete_subtree" codec_path P.unit (fun p -> Ns.delete_subtree ns p);
+    h ~meth:"create" codec_path P.unit (fun p -> Ns.create ns p);
+    h ~meth:"cas"
+      (P.triple codec_path codec_value codec_value)
+      (P.result P.unit P.string)
+      (fun (p, expected, v) -> Ns.compare_and_set ns p ~expected v);
+    h ~meth:"lsn" P.unit P.int (fun () -> (Ns.stats ns).Smalldb.lsn);
+    h ~meth:"snapshot" P.unit (P.pair codec_tree P.int) (fun () ->
+        Ns.snapshot_with_lsn ns);
+    h ~meth:"updates_since" P.int
+      (P.option (P.list (P.pair P.int codec_update)))
+      (fun from -> Ns.updates_since ns from);
+    h ~meth:"checkpoint" P.unit P.unit (fun () -> Ns.checkpoint ns);
+    h ~meth:"digest" P.unit P.string (fun () ->
+        let tree, _lsn = Ns.snapshot_with_lsn ns in
+        Digest.string (P.encode codec_tree tree));
+  ]
+
+let serve ns transport = Rpc.Server.serve ~handlers:(handlers ns) transport
+
+module Client = struct
+  type t = Rpc.Client.t
+
+  let create = Rpc.Client.create
+  let close = Rpc.Client.close
+  let calls = Rpc.Client.calls
+  let call = Rpc.Client.call
+
+  let lookup t p = call t ~meth:"lookup" codec_path codec_value p
+  let exists t p = call t ~meth:"exists" codec_path P.bool p
+
+  let list_children t p =
+    call t ~meth:"list_children" codec_path (P.option (P.list P.string)) p
+
+  let export ?depth t p =
+    call t ~meth:"export"
+      (P.pair codec_path (P.option P.int))
+      (P.option codec_tree) (p, depth)
+
+  let count_nodes t = call t ~meth:"count_nodes" P.unit P.int ()
+
+  let enumerate t p =
+    call t ~meth:"enumerate" codec_path (P.list (P.pair codec_path codec_value)) p
+
+  let find t pattern =
+    call t ~meth:"find" P.string
+      (P.result (P.list (P.pair codec_path codec_value)) P.string)
+      pattern
+  let set_value t p v = call t ~meth:"set_value" (P.pair codec_path codec_value) P.unit (p, v)
+
+  let write_subtree t p tree =
+    call t ~meth:"write_subtree" (P.pair codec_path codec_tree) P.unit (p, tree)
+
+  let delete_subtree t p = call t ~meth:"delete_subtree" codec_path P.unit p
+  let create_name t p = call t ~meth:"create" codec_path P.unit p
+
+  let compare_and_set t p ~expected v =
+    call t ~meth:"cas"
+      (P.triple codec_path codec_value codec_value)
+      (P.result P.unit P.string)
+      (p, expected, v)
+
+  let lsn t = call t ~meth:"lsn" P.unit P.int ()
+  let snapshot t = call t ~meth:"snapshot" P.unit (P.pair codec_tree P.int) ()
+
+  let updates_since t from =
+    call t ~meth:"updates_since" P.int
+      (P.option (P.list (P.pair P.int codec_update)))
+      from
+
+  let checkpoint t = call t ~meth:"checkpoint" P.unit P.unit ()
+  let digest t = call t ~meth:"digest" P.unit P.string ()
+end

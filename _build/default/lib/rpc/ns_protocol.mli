@@ -1,0 +1,68 @@
+(** The name server's RPC protocol: typed client stubs and the matching
+    server handlers (the role the paper's generated marshalling stubs
+    play in §6).
+
+    Procedures cover the client-visible enquiry/browse/update surface
+    plus the two replica-support calls ([snapshot], [updates_since])
+    that §4's restore-from-replica and propagation are built on. *)
+
+val handlers : Sdb_nameserver.Nameserver.t -> Rpc.Server.handler list
+(** All procedures, bound to one local name server instance. *)
+
+val serve : Sdb_nameserver.Nameserver.t -> Rpc.Transport.t -> unit
+(** [Rpc.Server.serve] with {!handlers}. *)
+
+module Client : sig
+  type t
+
+  val create : Rpc.Transport.t -> t
+  val close : t -> unit
+  val calls : t -> int
+
+  (** Enquiries (each one round trip). *)
+
+  val lookup : t -> Sdb_nameserver.Name_path.t -> string option
+  val exists : t -> Sdb_nameserver.Name_path.t -> bool
+  val list_children : t -> Sdb_nameserver.Name_path.t -> string list option
+
+  val export :
+    ?depth:int -> t -> Sdb_nameserver.Name_path.t -> Sdb_nameserver.Ns_data.tree option
+
+  val count_nodes : t -> int
+
+  val enumerate :
+    t -> Sdb_nameserver.Name_path.t ->
+    (Sdb_nameserver.Name_path.t * string option) list
+
+  val find :
+    t -> string ->
+    ((Sdb_nameserver.Name_path.t * string option) list, string) result
+  (** Glob search; the pattern is compiled server-side. *)
+
+  (** Updates. *)
+
+  val set_value : t -> Sdb_nameserver.Name_path.t -> string option -> unit
+  val write_subtree :
+    t -> Sdb_nameserver.Name_path.t -> Sdb_nameserver.Ns_data.tree -> unit
+  val delete_subtree : t -> Sdb_nameserver.Name_path.t -> unit
+  val create_name : t -> Sdb_nameserver.Name_path.t -> unit
+
+  val compare_and_set :
+    t -> Sdb_nameserver.Name_path.t -> expected:string option -> string option ->
+    (unit, string) result
+
+  (** Replica support. *)
+
+  val lsn : t -> int
+  val snapshot : t -> Sdb_nameserver.Ns_data.tree * int
+  val updates_since :
+    t -> int -> (int * Sdb_nameserver.Nameserver.update) list option
+
+  (** Maintenance. *)
+
+  val checkpoint : t -> unit
+
+  val digest : t -> string
+  (** MD5 of the canonical pickled snapshot; equal digests mean equal
+      databases (used by the long-term consistency check). *)
+end

@@ -1,0 +1,293 @@
+module P = Sdb_pickle.Pickle
+
+exception Rpc_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Rpc_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Wire messages                                                       *)
+
+type request = { req_id : int; meth : string; args : string }
+
+let codec_request =
+  P.record3 "rpc.request"
+    (P.field "id" P.int (fun r -> r.req_id))
+    (P.field "meth" P.string (fun r -> r.meth))
+    (P.field "args" P.string (fun r -> r.args))
+    (fun req_id meth args -> { req_id; meth; args })
+
+type response = { resp_id : int; payload : (string, string) result }
+
+let codec_response =
+  P.record2 "rpc.response"
+    (P.field "id" P.int (fun r -> r.resp_id))
+    (P.field "payload" (P.result P.string P.string) (fun r -> r.payload))
+    (fun resp_id payload -> { resp_id; payload })
+
+(* ------------------------------------------------------------------ *)
+(* Transports                                                          *)
+
+module Transport = struct
+  type t = {
+    descr : string;
+    send : string -> unit;
+    recv : unit -> string;
+    close : unit -> unit;
+  }
+
+  let trips = Atomic.make 0
+  let round_trips () = Atomic.get trips
+  let count_trip () = ignore (Atomic.fetch_and_add trips 1)
+end
+
+module Bqueue = struct
+  type 'a t = {
+    q : 'a Queue.t;
+    m : Mutex.t;
+    c : Condition.t;
+    mutable closed : bool;
+  }
+
+  let create () = { q = Queue.create (); m = Mutex.create (); c = Condition.create (); closed = false }
+
+  let push t v =
+    Mutex.lock t.m;
+    if t.closed then begin
+      Mutex.unlock t.m;
+      err "transport closed"
+    end;
+    Queue.push v t.q;
+    Condition.signal t.c;
+    Mutex.unlock t.m
+
+  let pop t =
+    Mutex.lock t.m;
+    let rec wait () =
+      if not (Queue.is_empty t.q) then Queue.pop t.q
+      else if t.closed then begin
+        Mutex.unlock t.m;
+        err "transport closed"
+      end
+      else begin
+        Condition.wait t.c t.m;
+        wait ()
+      end
+    in
+    let v = wait () in
+    Mutex.unlock t.m;
+    v
+
+  let close t =
+    Mutex.lock t.m;
+    t.closed <- true;
+    Condition.broadcast t.c;
+    Mutex.unlock t.m
+end
+
+module Inproc = struct
+  let pair ?(delay_s = 0.0) () =
+    let a_to_b = Bqueue.create () and b_to_a = Bqueue.create () in
+    let mk descr out inp =
+      {
+        Transport.descr;
+        send =
+          (fun msg ->
+            if delay_s > 0.0 then Thread.delay delay_s;
+            Bqueue.push out msg);
+        recv = (fun () -> Bqueue.pop inp);
+        close =
+          (fun () ->
+            Bqueue.close out;
+            Bqueue.close inp);
+      }
+    in
+    (mk "inproc:client" a_to_b b_to_a, mk "inproc:server" b_to_a a_to_b)
+end
+
+module Socket = struct
+  type listener = {
+    fd : Unix.file_descr;
+    path : string;
+    mutable stopping : bool;
+    accept_thread : Thread.t option ref;
+  }
+
+  let read_exact fd n =
+    let buf = Bytes.create n in
+    let rec go got =
+      if got = n then buf
+      else
+        match Unix.read fd buf got (n - got) with
+        | 0 -> err "connection closed"
+        | k -> go (got + k)
+        | exception Unix.Unix_error (e, _, _) ->
+          err "socket read: %s" (Unix.error_message e)
+    in
+    go 0
+
+  let write_all fd s =
+    let n = String.length s in
+    let rec go sent =
+      if sent < n then
+        match Unix.write_substring fd s sent (n - sent) with
+        | 0 -> err "socket write returned 0"
+        | k -> go (sent + k)
+        | exception Unix.Unix_error (e, _, _) ->
+          err "socket write: %s" (Unix.error_message e)
+    in
+    go 0
+
+  let transport_of_fd descr fd =
+    let closed = ref false in
+    {
+      Transport.descr;
+      send =
+        (fun msg ->
+          if !closed then err "transport closed";
+          let hdr = Bytes.create 4 in
+          Bytes.set_int32_le hdr 0 (Int32.of_int (String.length msg));
+          write_all fd (Bytes.unsafe_to_string hdr);
+          write_all fd msg);
+      recv =
+        (fun () ->
+          if !closed then err "transport closed";
+          let hdr = read_exact fd 4 in
+          let len = Int32.to_int (Bytes.get_int32_le hdr 0) in
+          if len < 0 || len > 1 lsl 28 then err "implausible frame length %d" len;
+          Bytes.unsafe_to_string (read_exact fd len));
+      close =
+        (fun () ->
+          if not !closed then begin
+            closed := true;
+            try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+          end);
+    }
+
+  let listen ~path serve_conn =
+    if Sys.file_exists path then Unix.unlink path;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 16;
+    let listener = { fd; path; stopping = false; accept_thread = ref None } in
+    let accept_loop () =
+      let rec go () =
+        match Unix.accept fd with
+        | conn_fd, _addr ->
+          let t = transport_of_fd (Printf.sprintf "unix:%s" path) conn_fd in
+          ignore
+            (Thread.create
+               (fun () ->
+                 try serve_conn t
+                 with Rpc_error _ -> t.Transport.close ())
+               ());
+          go ()
+        | exception
+            Unix.Unix_error
+              ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _) ->
+          ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      in
+      go ()
+    in
+    listener.accept_thread := Some (Thread.create accept_loop ());
+    listener
+
+  let connect ~path =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with Unix.Unix_error (e, _, _) ->
+       (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+       err "connect %s: %s" path (Unix.error_message e));
+    transport_of_fd (Printf.sprintf "unix:%s" path) fd
+
+  let shutdown l =
+    if not l.stopping then begin
+      l.stopping <- true;
+      (* shutdown(2) wakes the blocked accept (close alone does not). *)
+      (try Unix.shutdown l.fd Unix.SHUTDOWN_ALL with Unix.Unix_error (_, _, _) -> ());
+      (match !(l.accept_thread) with Some t -> Thread.join t | None -> ());
+      (try Unix.close l.fd with Unix.Unix_error (_, _, _) -> ());
+      try Sys.remove l.path with Sys_error _ -> ()
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Server                                                              *)
+
+module Server = struct
+  type handler = { h_meth : string; h_run : string -> (string, string) result }
+
+  let handler ~meth arg_codec ret_codec f =
+    let run args =
+      match P.decode_result arg_codec args with
+      | Error m -> Error (Printf.sprintf "%s: bad argument: %s" meth m)
+      | Ok a -> (
+        match f a with
+        | b -> Ok (P.encode ret_codec b)
+        | exception e -> Error (Printf.sprintf "%s: %s" meth (Printexc.to_string e)))
+    in
+    { h_meth = meth; h_run = run }
+
+  let serve ~handlers transport =
+    let table = Hashtbl.create 16 in
+    List.iter (fun h -> Hashtbl.replace table h.h_meth h) handlers;
+    let rec loop () =
+      match transport.Transport.recv () with
+      | exception Rpc_error _ -> transport.Transport.close ()
+      | msg ->
+        let resp =
+          match P.decode_result codec_request msg with
+          | Error m -> { resp_id = -1; payload = Error ("undecodable request: " ^ m) }
+          | Ok req -> (
+            match Hashtbl.find_opt table req.meth with
+            | None ->
+              { resp_id = req.req_id; payload = Error ("unknown procedure " ^ req.meth) }
+            | Some h -> { resp_id = req.req_id; payload = h.h_run req.args })
+        in
+        (match transport.Transport.send (P.encode codec_response resp) with
+        | () -> loop ()
+        | exception Rpc_error _ -> transport.Transport.close ())
+    in
+    loop ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                              *)
+
+module Client = struct
+  type t = {
+    transport : Transport.t;
+    mutex : Mutex.t;
+    mutable next_id : int;
+    mutable n_calls : int;
+  }
+
+  let create transport = { transport; mutex = Mutex.create (); next_id = 0; n_calls = 0 }
+
+  let call t ~meth arg_codec ret_codec a =
+    Mutex.lock t.mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mutex)
+      (fun () ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        let req = { req_id = id; meth; args = P.encode arg_codec a } in
+        t.transport.Transport.send (P.encode codec_request req);
+        let resp_msg = t.transport.Transport.recv () in
+        t.n_calls <- t.n_calls + 1;
+        Transport.count_trip ();
+        match P.decode_result codec_response resp_msg with
+        | Error m -> err "undecodable response: %s" m
+        | Ok resp ->
+          if resp.resp_id <> id then
+            err "response id %d does not match request id %d" resp.resp_id id;
+          (match resp.payload with
+          | Error m -> err "server: %s" m
+          | Ok bytes -> (
+            match P.decode_result ret_codec bytes with
+            | Error m -> err "undecodable result: %s" m
+            | Ok v -> v)))
+
+  let calls t = t.n_calls
+  let close t = t.transport.Transport.close ()
+end

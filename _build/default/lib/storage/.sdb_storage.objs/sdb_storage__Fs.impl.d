@@ -1,0 +1,1 @@
+lib/storage/fs.ml: Buffer Bytes Format

@@ -1,0 +1,1 @@
+lib/storage/mem_fs.ml: Bytes Fs Hashtbl List Printf Sdb_util String

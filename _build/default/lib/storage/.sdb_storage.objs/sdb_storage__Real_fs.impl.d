@@ -1,0 +1,1 @@
+lib/storage/real_fs.ml: Array Filename Fs Fun List Printf String Sys Unix

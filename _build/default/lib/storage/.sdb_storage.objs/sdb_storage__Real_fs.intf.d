@@ -1,0 +1,1 @@
+lib/storage/real_fs.mli: Fs

@@ -1,0 +1,134 @@
+exception Read_error of { file : string; offset : int; reason : string }
+exception Io_error of string
+
+module Counters = struct
+  type t = {
+    mutable data_writes : int;
+    mutable bytes_written : int;
+    mutable syncs : int;
+    mutable data_reads : int;
+    mutable bytes_read : int;
+    mutable creates : int;
+    mutable renames : int;
+    mutable removes : int;
+  }
+
+  let create () =
+    {
+      data_writes = 0;
+      bytes_written = 0;
+      syncs = 0;
+      data_reads = 0;
+      bytes_read = 0;
+      creates = 0;
+      renames = 0;
+      removes = 0;
+    }
+
+  let reset c =
+    c.data_writes <- 0;
+    c.bytes_written <- 0;
+    c.syncs <- 0;
+    c.data_reads <- 0;
+    c.bytes_read <- 0;
+    c.creates <- 0;
+    c.renames <- 0;
+    c.removes <- 0
+
+  let copy c =
+    {
+      data_writes = c.data_writes;
+      bytes_written = c.bytes_written;
+      syncs = c.syncs;
+      data_reads = c.data_reads;
+      bytes_read = c.bytes_read;
+      creates = c.creates;
+      renames = c.renames;
+      removes = c.removes;
+    }
+
+  let diff ~after ~before =
+    {
+      data_writes = after.data_writes - before.data_writes;
+      bytes_written = after.bytes_written - before.bytes_written;
+      syncs = after.syncs - before.syncs;
+      data_reads = after.data_reads - before.data_reads;
+      bytes_read = after.bytes_read - before.bytes_read;
+      creates = after.creates - before.creates;
+      renames = after.renames - before.renames;
+      removes = after.removes - before.removes;
+    }
+
+  let pp ppf c =
+    Format.fprintf ppf
+      "writes=%d bytes_w=%d syncs=%d reads=%d bytes_r=%d creates=%d renames=%d removes=%d"
+      c.data_writes c.bytes_written c.syncs c.data_reads c.bytes_read c.creates
+      c.renames c.removes
+end
+
+type reader = {
+  r_file : string;
+  r_size : int;
+  r_read : bytes -> int -> int -> int;
+  r_seek : int -> unit;
+  r_close : unit -> unit;
+}
+
+type writer = {
+  w_file : string;
+  w_write : string -> unit;
+  w_sync : unit -> unit;
+  w_close : unit -> unit;
+}
+
+type random = {
+  rw_file : string;
+  pread : off:int -> bytes -> int -> int -> int;
+  pwrite : off:int -> string -> unit;
+  rw_sync : unit -> unit;
+  rw_size : unit -> int;
+  rw_close : unit -> unit;
+}
+
+type t = {
+  fs_name : string;
+  list_files : unit -> string list;
+  exists : string -> bool;
+  file_size : string -> int;
+  open_reader : string -> reader;
+  create : string -> writer;
+  open_append : string -> writer;
+  open_random : string -> random;
+  rename : string -> string -> unit;
+  remove : string -> unit;
+  truncate : string -> int -> unit;
+  counters : Counters.t;
+}
+
+let read_file fs file =
+  let r = fs.open_reader file in
+  let buf = Buffer.create (max 64 r.r_size) in
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    let n = r.r_read chunk 0 (Bytes.length chunk) in
+    if n > 0 then begin
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    end
+  in
+  (try go ()
+   with e ->
+     r.r_close ();
+     raise e);
+  r.r_close ();
+  Buffer.contents buf
+
+let write_file fs file contents =
+  let w = fs.create file in
+  (try
+     w.w_write contents;
+     w.w_sync ()
+   with e ->
+     w.w_close ();
+     raise e);
+  w.w_close ()

@@ -1,0 +1,419 @@
+module Rng = Sdb_util.Rng
+
+exception Crash
+
+type crash_mode = Clean | Torn
+
+(* A dirty page records the pre-image of its extent as of the last
+   sync, plus the byte range written since.  At crash time each dirty
+   page independently keeps the new bytes, reverts to the pre-image, or
+   tears (the written range reads as an error).  Bytes never written
+   since their covering sync are therefore always preserved — the
+   fsync durability contract — while in-place overwrites genuinely put
+   the old bytes at risk, which is the §2 fragility of ad-hoc schemes. *)
+type dirty = {
+  pre : Bytes.t;  (* page extent content at last sync (may be short) *)
+  mutable wstart : int;  (* absolute offset of first byte written *)
+  mutable wend : int;  (* absolute offset past last byte written *)
+}
+
+type file = {
+  mutable data : Bytes.t;
+  mutable len : int;
+  mutable stable_len : int;
+  dirty : (int, dirty) Hashtbl.t;
+  mutable damaged : (int * int) list;  (* sorted disjoint ranges *)
+}
+
+type store = {
+  files : (string, file) Hashtbl.t;
+  counters : Fs.Counters.t;
+  page_size : int;
+  rng : Rng.t;
+  mutable epoch : int;
+  mutable ops : int;
+  mutable crash_after : (int * crash_mode) option;
+}
+
+let create_store ?(page_size = 512) ?(seed = 0x5eed) () =
+  if page_size <= 0 then invalid_arg "Mem_fs.create_store: page_size";
+  {
+    files = Hashtbl.create 16;
+    counters = Fs.Counters.create ();
+    page_size;
+    rng = Rng.create ~seed;
+    epoch = 0;
+    ops = 0;
+    crash_after = None;
+  }
+
+let mutating_ops t = t.ops
+
+let find t name =
+  match Hashtbl.find_opt t.files name with
+  | Some f -> f
+  | None -> raise (Fs.Io_error (Printf.sprintf "mem_fs: no such file %S" name))
+
+let new_file () =
+  { data = Bytes.create 256; len = 0; stable_len = 0; dirty = Hashtbl.create 4; damaged = [] }
+
+let add_damage f offset len =
+  if len > 0 then f.damaged <- List.sort compare ((offset, len) :: f.damaged)
+
+let clear_damage_from f offset =
+  f.damaged <-
+    List.filter_map
+      (fun (o, l) ->
+        if o >= offset then None
+        else if o + l <= offset then Some (o, l)
+        else Some (o, offset - o))
+      f.damaged
+
+let clear_damage_in f start stop =
+  f.damaged <-
+    List.concat_map
+      (fun (o, l) ->
+        let e = o + l in
+        if e <= start || o >= stop then [ (o, l) ]
+        else
+          (if o < start then [ (o, start - o) ] else [])
+          @ if e > stop then [ (stop, e - stop) ] else [])
+      f.damaged
+
+let ensure_capacity f needed =
+  if needed > Bytes.length f.data then begin
+    let cap = ref (max 256 (Bytes.length f.data)) in
+    while !cap < needed do
+      cap := !cap * 2
+    done;
+    let bigger = Bytes.create !cap in
+    Bytes.blit f.data 0 bigger 0 f.len;
+    f.data <- bigger
+  end
+
+(* Record the write [off, off+len) in the dirty-page map, capturing
+   pre-images of pages touched for the first time since the last sync. *)
+let mark_dirty t f off len =
+  let first_page = off / t.page_size in
+  let last_page = (off + len - 1) / t.page_size in
+  for page = first_page to last_page do
+    let d =
+      match Hashtbl.find_opt f.dirty page with
+      | Some d -> d
+      | None ->
+        let page_start = page * t.page_size in
+        let extent = max 0 (min f.len ((page + 1) * t.page_size) - page_start) in
+        let pre = Bytes.sub f.data page_start extent in
+        let d = { pre; wstart = max_int; wend = 0 } in
+        Hashtbl.replace f.dirty page d;
+        d
+    in
+    let page_start = page * t.page_size in
+    let page_end = (page + 1) * t.page_size in
+    d.wstart <- min d.wstart (max off page_start);
+    d.wend <- max d.wend (min (off + len) page_end)
+  done
+
+let do_pwrite t f off s =
+  let n = String.length s in
+  if n > 0 then begin
+    ensure_capacity f (off + n);
+    if off > f.len then Bytes.fill f.data f.len (off - f.len) '\x00';
+    mark_dirty t f off n;
+    if off > f.len then mark_dirty t f f.len (off - f.len);
+    Bytes.blit_string s 0 f.data off n;
+    f.len <- max f.len (off + n);
+    (* Writing over a previously damaged region heals it. *)
+    clear_damage_in f off (off + n);
+    t.counters.data_writes <- t.counters.data_writes + 1;
+    t.counters.bytes_written <- t.counters.bytes_written + n
+  end
+
+let do_sync t f =
+  f.stable_len <- f.len;
+  Hashtbl.reset f.dirty;
+  t.counters.syncs <- t.counters.syncs + 1
+
+(* Crash semantics: resolve every dirty page.  [Clean] reverts all of
+   them (pure pre-image restore, no damage); [Torn] draws a fate per
+   page: keep / revert / tear. *)
+let apply_crash t mode =
+  let file_names =
+    Hashtbl.fold (fun name _ acc -> name :: acc) t.files [] |> List.sort compare
+  in
+  List.iter
+    (fun name ->
+      let f = Hashtbl.find t.files name in
+      let pages =
+        Hashtbl.fold (fun page d acc -> (page, d) :: acc) f.dirty []
+        |> List.sort compare
+      in
+      if pages <> [] then begin
+        let fate_of _ = match mode with Clean -> `Old | Torn -> (
+          match Rng.int t.rng 4 with 0 | 1 -> `New | 2 -> `Old | _ -> `Torn)
+        in
+        let fates = List.map (fun (page, d) -> (page, d, fate_of page)) pages in
+        (* Pass 1: the surviving file length. *)
+        let new_len =
+          List.fold_left
+            (fun acc (page, _d, fate) ->
+              match fate with
+              | `New | `Torn -> max acc (min f.len ((page + 1) * t.page_size))
+              | `Old -> acc)
+            f.stable_len fates
+        in
+        let new_len = min new_len f.len in
+        (* Pass 2: page contents. *)
+        List.iter
+          (fun (page, d, fate) ->
+            let page_start = page * t.page_size in
+            let wstart = max d.wstart 0 in
+            let wend = min d.wend new_len in
+            if wend > wstart then
+              match fate with
+              | `New -> ()
+              | `Torn -> add_damage f wstart (wend - wstart)
+              | `Old ->
+                let pre_end = page_start + Bytes.length d.pre in
+                let restore_end = min wend pre_end in
+                if restore_end > wstart then
+                  Bytes.blit d.pre (wstart - page_start) f.data wstart
+                    (restore_end - wstart);
+                (* Written bytes past the pre-image extent were appends;
+                   if a later page survived they are now garbage. *)
+                if wend > max wstart pre_end then begin
+                  let s = max wstart pre_end in
+                  add_damage f s (wend - s)
+                end)
+          fates;
+        f.len <- new_len;
+        f.stable_len <- new_len;
+        Hashtbl.reset f.dirty;
+        clear_damage_from f new_len
+      end)
+    file_names;
+  t.epoch <- t.epoch + 1;
+  t.crash_after <- None
+
+let crash t ~mode = apply_crash t mode
+
+let set_crash_after t ~ops ~mode =
+  if ops <= 0 then invalid_arg "Mem_fs.set_crash_after: ops must be positive";
+  t.crash_after <- Some (ops, mode)
+
+let disarm_crash t = t.crash_after <- None
+
+(* Every mutating operation is a crash point.  When the budget runs
+   out, the crash is applied *before* the operation takes effect and
+   {!Crash} is raised out of the caller. *)
+let mutating_op t =
+  t.ops <- t.ops + 1;
+  match t.crash_after with
+  | None -> ()
+  | Some (n, mode) ->
+    if n <= 1 then begin
+      apply_crash t mode;
+      raise Crash
+    end
+    else t.crash_after <- Some (n - 1, mode)
+
+let check_epoch t epoch what =
+  if t.epoch <> epoch then
+    raise (Fs.Io_error (Printf.sprintf "mem_fs: %s handle invalidated by crash" what))
+
+let overlap_damage f pos n =
+  List.fold_left
+    (fun acc (o, l) ->
+      if o + l <= pos || o >= pos + n then acc
+      else
+        match acc with
+        | None -> Some o
+        | Some o' -> Some (min o o'))
+    None f.damaged
+
+(* Positional read shared by sequential readers and random handles:
+   stops short of damage, errors when positioned on it. *)
+let do_pread t name f pos buf off n =
+  if n < 0 || off < 0 || off + n > Bytes.length buf then
+    invalid_arg "mem_fs: read out of range";
+  if pos >= f.len then 0
+  else begin
+    let avail = min n (f.len - pos) in
+    match overlap_damage f pos avail with
+    | Some o when o <= pos ->
+      raise (Fs.Read_error { file = name; offset = pos; reason = "damaged page" })
+    | dmg ->
+      let avail = match dmg with Some o -> o - pos | None -> avail in
+      Bytes.blit f.data pos buf off avail;
+      t.counters.data_reads <- t.counters.data_reads + 1;
+      t.counters.bytes_read <- t.counters.bytes_read + avail;
+      avail
+  end
+
+let open_reader t name =
+  let f = find t name in
+  let epoch = t.epoch in
+  let pos = ref 0 in
+  let closed = ref false in
+  let check () =
+    check_epoch t epoch "reader";
+    if !closed then raise (Fs.Io_error "mem_fs: reader used after close")
+  in
+  {
+    Fs.r_file = name;
+    r_size = f.len;
+    r_read =
+      (fun buf off n ->
+        check ();
+        let got = do_pread t name f !pos buf off n in
+        pos := !pos + got;
+        got);
+    r_seek =
+      (fun target ->
+        check ();
+        if target < 0 then invalid_arg "mem_fs: r_seek negative";
+        pos := target);
+    r_close = (fun () -> closed := true);
+  }
+
+let writer_of_file t name f =
+  let epoch = t.epoch in
+  let closed = ref false in
+  let check what =
+    check_epoch t epoch what;
+    if !closed then raise (Fs.Io_error "mem_fs: writer used after close")
+  in
+  {
+    Fs.w_file = name;
+    w_write =
+      (fun s ->
+        check "writer";
+        mutating_op t;
+        do_pwrite t f f.len s);
+    w_sync =
+      (fun () ->
+        check "writer";
+        mutating_op t;
+        do_sync t f);
+    w_close = (fun () -> closed := true);
+  }
+
+let open_random_handle t name f =
+  let epoch = t.epoch in
+  let closed = ref false in
+  let check what =
+    check_epoch t epoch what;
+    if !closed then raise (Fs.Io_error "mem_fs: random handle used after close")
+  in
+  {
+    Fs.rw_file = name;
+    pread =
+      (fun ~off buf pos n ->
+        check "random";
+        do_pread t name f off buf pos n);
+    pwrite =
+      (fun ~off s ->
+        check "random";
+        if off < 0 then invalid_arg "mem_fs: pwrite negative offset";
+        mutating_op t;
+        do_pwrite t f off s);
+    rw_sync =
+      (fun () ->
+        check "random";
+        mutating_op t;
+        do_sync t f);
+    rw_size = (fun () -> f.len);
+    rw_close = (fun () -> closed := true);
+  }
+
+let fs t =
+  let list_files () =
+    Hashtbl.fold (fun name _ acc -> name :: acc) t.files [] |> List.sort compare
+  in
+  let exists name = Hashtbl.mem t.files name in
+  let file_size name = (find t name).len in
+  let create name =
+    mutating_op t;
+    let f = new_file () in
+    Hashtbl.replace t.files name f;
+    t.counters.creates <- t.counters.creates + 1;
+    writer_of_file t name f
+  in
+  let open_append name =
+    match Hashtbl.find_opt t.files name with
+    | Some f -> writer_of_file t name f
+    | None -> create name
+  in
+  let open_random name =
+    let f =
+      match Hashtbl.find_opt t.files name with
+      | Some f -> f
+      | None ->
+        mutating_op t;
+        let f = new_file () in
+        Hashtbl.replace t.files name f;
+        t.counters.creates <- t.counters.creates + 1;
+        f
+    in
+    open_random_handle t name f
+  in
+  let rename src dst =
+    let f = find t src in
+    mutating_op t;
+    Hashtbl.remove t.files src;
+    Hashtbl.replace t.files dst f;
+    t.counters.renames <- t.counters.renames + 1
+  in
+  let remove name =
+    if Hashtbl.mem t.files name then begin
+      mutating_op t;
+      Hashtbl.remove t.files name;
+      t.counters.removes <- t.counters.removes + 1
+    end
+  in
+  let truncate name len =
+    let f = find t name in
+    if len < 0 || len > f.len then
+      raise (Fs.Io_error (Printf.sprintf "mem_fs: truncate %S to %d out of range" name len));
+    mutating_op t;
+    f.len <- len;
+    f.stable_len <- min f.stable_len len;
+    let doomed =
+      Hashtbl.fold
+        (fun page d acc ->
+          if page * t.page_size >= len then page :: acc
+          else begin
+            d.wend <- min d.wend len;
+            acc
+          end)
+        f.dirty []
+    in
+    List.iter (Hashtbl.remove f.dirty) doomed;
+    clear_damage_from f len;
+    t.counters.data_writes <- t.counters.data_writes + 1
+  in
+  {
+    Fs.fs_name = "mem";
+    list_files;
+    exists;
+    file_size;
+    open_reader = (fun name -> open_reader t name);
+    create;
+    open_append;
+    open_random;
+    rename;
+    remove;
+    truncate;
+    counters = t.counters;
+  }
+
+let damage t ~file ~offset ~len =
+  let f = find t file in
+  if offset < 0 || len < 0 || offset + len > f.len then
+    invalid_arg "Mem_fs.damage: range outside file";
+  add_damage f offset len
+
+let total_bytes t = Hashtbl.fold (fun _ f acc -> acc + f.len) t.files 0
+
+let file_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.files [] |> List.sort compare

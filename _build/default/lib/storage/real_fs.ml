@@ -1,0 +1,184 @@
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let check_flat name =
+  if String.contains name '/' || String.equal name ".." then
+    raise (Fs.Io_error (Printf.sprintf "real_fs: invalid file name %S" name))
+
+let wrap_unix what f =
+  try f ()
+  with Unix.Unix_error (e, fn, arg) ->
+    raise
+      (Fs.Io_error (Printf.sprintf "real_fs: %s: %s(%s): %s" what fn arg
+           (Unix.error_message e)))
+
+let create ~root =
+  mkdir_p root;
+  let counters = Fs.Counters.create () in
+  let path name =
+    check_flat name;
+    Filename.concat root name
+  in
+  let list_files () =
+    Sys.readdir root |> Array.to_list
+    |> List.filter (fun n -> not (Sys.is_directory (Filename.concat root n)))
+    |> List.sort compare
+  in
+  let exists name = Sys.file_exists (path name) in
+  let file_size name =
+    wrap_unix "file_size" (fun () -> (Unix.stat (path name)).Unix.st_size)
+  in
+  let open_reader name =
+    let fd = wrap_unix "open_reader" (fun () -> Unix.openfile (path name) [ Unix.O_RDONLY ] 0) in
+    let size = (Unix.fstat fd).Unix.st_size in
+    let closed = ref false in
+    {
+      Fs.r_file = name;
+      r_size = size;
+      r_read =
+        (fun buf off len ->
+          if !closed then raise (Fs.Io_error "real_fs: reader used after close");
+          wrap_unix "read" (fun () -> Unix.read fd buf off len)
+          |> fun n ->
+          counters.data_reads <- counters.data_reads + 1;
+          counters.bytes_read <- counters.bytes_read + n;
+          n);
+      r_seek =
+        (fun target ->
+          if !closed then raise (Fs.Io_error "real_fs: reader used after close");
+          ignore (wrap_unix "lseek" (fun () -> Unix.lseek fd target Unix.SEEK_SET)));
+      r_close =
+        (fun () ->
+          if not !closed then begin
+            closed := true;
+            wrap_unix "close" (fun () -> Unix.close fd)
+          end);
+    }
+  in
+  let writer_of_fd name fd =
+    let closed = ref false in
+    let check () =
+      if !closed then raise (Fs.Io_error "real_fs: writer used after close")
+    in
+    {
+      Fs.w_file = name;
+      w_write =
+        (fun s ->
+          check ();
+          let n = String.length s in
+          let written =
+            wrap_unix "write" (fun () ->
+                Unix.write_substring fd s 0 n)
+          in
+          if written <> n then
+            raise (Fs.Io_error (Printf.sprintf "real_fs: short write on %S" name));
+          counters.data_writes <- counters.data_writes + 1;
+          counters.bytes_written <- counters.bytes_written + n);
+      w_sync =
+        (fun () ->
+          check ();
+          wrap_unix "fsync" (fun () -> Unix.fsync fd);
+          counters.syncs <- counters.syncs + 1);
+      w_close =
+        (fun () ->
+          if not !closed then begin
+            closed := true;
+            wrap_unix "close" (fun () -> Unix.close fd)
+          end);
+    }
+  in
+  let create_file name =
+    let fd =
+      wrap_unix "create" (fun () ->
+          Unix.openfile (path name) [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644)
+    in
+    counters.creates <- counters.creates + 1;
+    writer_of_fd name fd
+  in
+  let open_append name =
+    let fd =
+      wrap_unix "open_append" (fun () ->
+          Unix.openfile (path name) [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644)
+    in
+    writer_of_fd name fd
+  in
+  let open_random name =
+    let fd =
+      wrap_unix "open_random" (fun () ->
+          Unix.openfile (path name) [ Unix.O_RDWR; Unix.O_CREAT ] 0o644)
+    in
+    counters.creates <- counters.creates + 1;
+    let closed = ref false in
+    let check () =
+      if !closed then raise (Fs.Io_error "real_fs: random handle used after close")
+    in
+    {
+      Fs.rw_file = name;
+      pread =
+        (fun ~off buf pos n ->
+          check ();
+          ignore (wrap_unix "lseek" (fun () -> Unix.lseek fd off Unix.SEEK_SET));
+          let got = wrap_unix "read" (fun () -> Unix.read fd buf pos n) in
+          counters.data_reads <- counters.data_reads + 1;
+          counters.bytes_read <- counters.bytes_read + got;
+          got);
+      pwrite =
+        (fun ~off s ->
+          check ();
+          ignore (wrap_unix "lseek" (fun () -> Unix.lseek fd off Unix.SEEK_SET));
+          let n = String.length s in
+          let written = wrap_unix "write" (fun () -> Unix.write_substring fd s 0 n) in
+          if written <> n then
+            raise (Fs.Io_error (Printf.sprintf "real_fs: short pwrite on %S" name));
+          counters.data_writes <- counters.data_writes + 1;
+          counters.bytes_written <- counters.bytes_written + n);
+      rw_sync =
+        (fun () ->
+          check ();
+          wrap_unix "fsync" (fun () -> Unix.fsync fd);
+          counters.syncs <- counters.syncs + 1);
+      rw_size = (fun () -> (Unix.fstat fd).Unix.st_size);
+      rw_close =
+        (fun () ->
+          if not !closed then begin
+            closed := true;
+            wrap_unix "close" (fun () -> Unix.close fd)
+          end);
+    }
+  in
+  let rename src dst =
+    wrap_unix "rename" (fun () -> Unix.rename (path src) (path dst));
+    counters.renames <- counters.renames + 1
+  in
+  let remove name =
+    if Sys.file_exists (path name) then begin
+      wrap_unix "remove" (fun () -> Unix.unlink (path name));
+      counters.removes <- counters.removes + 1
+    end
+  in
+  let truncate name len =
+    let fd =
+      wrap_unix "truncate" (fun () -> Unix.openfile (path name) [ Unix.O_WRONLY ] 0)
+    in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () -> wrap_unix "ftruncate" (fun () -> Unix.ftruncate fd len));
+    counters.data_writes <- counters.data_writes + 1
+  in
+  {
+    Fs.fs_name = Printf.sprintf "dir:%s" root;
+    list_files;
+    exists;
+    file_size;
+    open_reader;
+    create = create_file;
+    open_append;
+    open_random;
+    rename;
+    remove;
+    truncate;
+    counters;
+  }

@@ -1,0 +1,11 @@
+(** Real-directory backend.
+
+    Maps the {!Fs.t} operations onto a directory of ordinary files with
+    [Unix] primitives: append with [O_APPEND], commit with [fsync],
+    atomic replace with [rename].  Partial writes are detected by the
+    log layer's CRC framing rather than by the device (see {!Wal}), so
+    this backend never raises {!Fs.Read_error} on its own. *)
+
+val create : root:string -> Fs.t
+(** [create ~root] uses directory [root], creating it (and parents) if
+    needed.  File names must be flat (no path separators). *)

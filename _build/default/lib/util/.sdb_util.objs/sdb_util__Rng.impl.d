@@ -1,0 +1,1 @@
+lib/util/rng.ml: Array Char Float Hashtbl Int64 String

@@ -1,0 +1,41 @@
+type t = int32
+
+let polynomial = 0xEDB88320l
+
+let table =
+  lazy
+    (let t = Array.make 256 0l in
+     for n = 0 to 255 do
+       let c = ref (Int32.of_int n) in
+       for _ = 0 to 7 do
+         if Int32.logand !c 1l <> 0l then
+           c := Int32.logxor polynomial (Int32.shift_right_logical !c 1)
+         else c := Int32.shift_right_logical !c 1
+       done;
+       t.(n) <- !c
+     done;
+     t)
+
+let empty = 0l
+
+(* The public state is the plain digest; internally the register is kept
+   complemented, so we fold the complement in and out at each call. *)
+let update crc b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Crc32.update";
+  let tbl = Lazy.force table in
+  let c = ref (Int32.logxor crc 0xFFFFFFFFl) in
+  for i = pos to pos + len - 1 do
+    let byte = Char.code (Bytes.unsafe_get b i) in
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int byte)) 0xFFl) in
+    c := Int32.logxor tbl.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let update_string crc s =
+  update crc (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+let digest_bytes b ~pos ~len = update empty b ~pos ~len
+let digest_string s = update_string empty s
+let to_int32 c = c
+let equal = Int32.equal

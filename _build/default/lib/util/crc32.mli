@@ -1,0 +1,30 @@
+(** CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+
+    Used by the log ({!Wal}) and checkpoint framing to detect torn or
+    corrupted disk writes on backends that cannot report partial-page
+    read errors themselves (real file systems).  The paper relies on the
+    disk hardware reporting an error for a partially written page; a CRC
+    over each frame gives the same detection property on commodity
+    files. *)
+
+type t = int32
+(** A running CRC state (also the final digest). *)
+
+val empty : t
+(** CRC of the empty string. *)
+
+val update : t -> bytes -> pos:int -> len:int -> t
+(** [update c b ~pos ~len] extends digest [c] with [len] bytes of [b]
+    starting at [pos].  Raises [Invalid_argument] on out-of-range. *)
+
+val update_string : t -> string -> t
+(** [update_string c s] extends [c] with all of [s]. *)
+
+val digest_bytes : bytes -> pos:int -> len:int -> t
+(** One-shot digest of a byte range. *)
+
+val digest_string : string -> t
+(** One-shot digest of a whole string. *)
+
+val to_int32 : t -> int32
+val equal : t -> t -> bool

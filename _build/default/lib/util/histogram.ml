@@ -1,0 +1,67 @@
+type t = {
+  mutable samples : float array;
+  mutable len : int;
+  mutable sorted : float array option;
+}
+
+let create () = { samples = Array.make 64 0.0; len = 0; sorted = None }
+
+let record t v =
+  if t.len = Array.length t.samples then begin
+    let bigger = Array.make (2 * t.len) 0.0 in
+    Array.blit t.samples 0 bigger 0 t.len;
+    t.samples <- bigger
+  end;
+  t.samples.(t.len) <- v;
+  t.len <- t.len + 1;
+  t.sorted <- None
+
+let count t = t.len
+
+let nonempty t name = if t.len = 0 then invalid_arg ("Histogram." ^ name ^ ": empty")
+
+let total t =
+  let acc = ref 0.0 in
+  for i = 0 to t.len - 1 do
+    acc := !acc +. t.samples.(i)
+  done;
+  !acc
+
+let mean t =
+  nonempty t "mean";
+  total t /. float_of_int t.len
+
+let sorted t =
+  match t.sorted with
+  | Some s -> s
+  | None ->
+    let s = Array.sub t.samples 0 t.len in
+    Array.sort compare s;
+    t.sorted <- Some s;
+    s
+
+let min t =
+  nonempty t "min";
+  (sorted t).(0)
+
+let max t =
+  nonempty t "max";
+  (sorted t).(t.len - 1)
+
+let percentile t p =
+  nonempty t "percentile";
+  if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: out of range";
+  let s = sorted t in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.len)) in
+  let idx = if rank <= 0 then 0 else Stdlib.min (rank - 1) (t.len - 1) in
+  s.(idx)
+
+let merge a b =
+  let t = create () in
+  for i = 0 to a.len - 1 do
+    record t a.samples.(i)
+  done;
+  for i = 0 to b.len - 1 do
+    record t b.samples.(i)
+  done;
+  t

@@ -1,0 +1,21 @@
+(** Latency histogram with percentile queries.
+
+    Samples are recorded exactly (growable array) because benchmark runs
+    are bounded; percentile queries sort on demand and cache the sorted
+    view until the next record. *)
+
+type t
+
+val create : unit -> t
+val record : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val min : t -> float
+val max : t -> float
+val percentile : t -> float -> float
+(** [percentile t 99.0] is the nearest-rank p99.  Raises
+    [Invalid_argument] if empty or [p] outside [\[0,100\]]. *)
+
+val total : t -> float
+val merge : t -> t -> t
+(** A fresh histogram holding both sample sets. *)

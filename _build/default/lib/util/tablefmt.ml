@@ -1,0 +1,73 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match align with
+    | Some a when List.length a = ncols -> Array.of_list a
+    | Some _ -> invalid_arg "Tablefmt.render: align length mismatch"
+    | None -> Array.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri
+      (fun i cell ->
+        if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  measure header;
+  List.iter measure rows;
+  let rstrip s =
+    let n = ref (String.length s) in
+    while !n > 0 && s.[!n - 1] = ' ' do
+      decr n
+    done;
+    String.sub s 0 !n
+  in
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    Buffer.clear buf;
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        if i < ncols then Buffer.add_string buf (pad aligns.(i) widths.(i) cell)
+        else Buffer.add_string buf cell)
+      row;
+    rstrip (Buffer.contents buf) ^ "\n"
+  in
+  let out = Buffer.create 1024 in
+  Buffer.add_string out (emit_row header);
+  Array.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_string out "  ";
+      Buffer.add_string out (String.make w '-'))
+    widths;
+  Buffer.add_char out '\n';
+  List.iter (fun row -> Buffer.add_string out (emit_row row)) rows;
+  Buffer.contents out
+
+let print ?align ~header rows = print_string (render ?align ~header rows)
+
+let fmt_ms ms =
+  if ms >= 1000.0 then Printf.sprintf "%.2f s" (ms /. 1000.0)
+  else if ms >= 100.0 then Printf.sprintf "%.0f ms" ms
+  else if ms >= 1.0 then Printf.sprintf "%.1f ms" ms
+  else if ms >= 0.001 then Printf.sprintf "%.3f ms" ms
+  else Printf.sprintf "%.1f us" (ms *. 1000.0)
+
+let fmt_bytes n =
+  let f = float_of_int n in
+  if n >= 1 lsl 30 then Printf.sprintf "%.1f GiB" (f /. float_of_int (1 lsl 30))
+  else if n >= 1 lsl 20 then Printf.sprintf "%.1f MiB" (f /. float_of_int (1 lsl 20))
+  else if n >= 1 lsl 10 then Printf.sprintf "%.1f KiB" (f /. float_of_int (1 lsl 10))
+  else Printf.sprintf "%d B" n
+
+let fmt_ratio r = Printf.sprintf "%.1fx" r

@@ -1,0 +1,22 @@
+(** Aligned plain-text tables for benchmark and report output. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the table out with column widths fitted
+    to content, a rule under the header, and two spaces between
+    columns.  [align] gives per-column alignment (default: first column
+    left, the rest right, matching numeric tables). *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+(** {!render} followed by [print_string]. *)
+
+val fmt_ms : float -> string
+(** Milliseconds with adaptive precision, e.g. ["0.042 ms"], ["54.0 ms"],
+    ["1.20 s"]. *)
+
+val fmt_bytes : int -> string
+(** Human bytes, e.g. ["1.0 MiB"]. *)
+
+val fmt_ratio : float -> string
+(** e.g. ["2.1x"]. *)

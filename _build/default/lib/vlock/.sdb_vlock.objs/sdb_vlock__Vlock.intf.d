@@ -1,0 +1,1 @@
+lib/vlock/vlock.mli:

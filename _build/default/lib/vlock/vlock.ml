@@ -1,0 +1,121 @@
+type mode = Shared | Update | Exclusive
+
+type stats = {
+  shared_acquisitions : int;
+  update_acquisitions : int;
+  exclusive_acquisitions : int;
+  upgrades : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  changed : Condition.t;
+  mutable n_readers : int;
+  mutable upd : bool;
+  mutable excl : bool;
+  mutable upgrade_pending : bool;
+  mutable s_shared : int;
+  mutable s_update : int;
+  mutable s_exclusive : int;
+  mutable s_upgrades : int;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    changed = Condition.create ();
+    n_readers = 0;
+    upd = false;
+    excl = false;
+    upgrade_pending = false;
+    s_shared = 0;
+    s_update = 0;
+    s_exclusive = 0;
+    s_upgrades = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let acquire t mode =
+  locked t (fun () ->
+      match mode with
+      | Shared ->
+        while t.excl || t.upgrade_pending do
+          Condition.wait t.changed t.mutex
+        done;
+        t.n_readers <- t.n_readers + 1;
+        t.s_shared <- t.s_shared + 1
+      | Update ->
+        while t.upd || t.excl do
+          Condition.wait t.changed t.mutex
+        done;
+        t.upd <- true;
+        t.s_update <- t.s_update + 1
+      | Exclusive ->
+        (* Serialize against other writers first, then drain readers,
+           exactly as an update that upgrades immediately. *)
+        while t.upd || t.excl do
+          Condition.wait t.changed t.mutex
+        done;
+        t.upd <- true;
+        t.upgrade_pending <- true;
+        while t.n_readers > 0 do
+          Condition.wait t.changed t.mutex
+        done;
+        t.upd <- false;
+        t.upgrade_pending <- false;
+        t.excl <- true;
+        t.s_exclusive <- t.s_exclusive + 1)
+
+let release t mode =
+  locked t (fun () ->
+      (match mode with
+      | Shared ->
+        if t.n_readers <= 0 then invalid_arg "Vlock.release: no shared holder";
+        t.n_readers <- t.n_readers - 1
+      | Update ->
+        if not t.upd then invalid_arg "Vlock.release: update not held";
+        t.upd <- false
+      | Exclusive ->
+        if not t.excl then invalid_arg "Vlock.release: exclusive not held";
+        t.excl <- false);
+      Condition.broadcast t.changed)
+
+let upgrade t =
+  locked t (fun () ->
+      if not t.upd then invalid_arg "Vlock.upgrade: update not held";
+      if t.upgrade_pending then invalid_arg "Vlock.upgrade: upgrade already pending";
+      t.upgrade_pending <- true;
+      while t.n_readers > 0 do
+        Condition.wait t.changed t.mutex
+      done;
+      t.upd <- false;
+      t.upgrade_pending <- false;
+      t.excl <- true;
+      t.s_upgrades <- t.s_upgrades + 1)
+
+let downgrade t =
+  locked t (fun () ->
+      if not t.excl then invalid_arg "Vlock.downgrade: exclusive not held";
+      t.excl <- false;
+      t.upd <- true;
+      Condition.broadcast t.changed)
+
+let with_lock t mode f =
+  acquire t mode;
+  Fun.protect ~finally:(fun () -> release t mode) f
+
+let readers t = locked t (fun () -> t.n_readers)
+let update_held t = locked t (fun () -> t.upd)
+let exclusive_held t = locked t (fun () -> t.excl)
+
+let stats t =
+  locked t (fun () ->
+      {
+        shared_acquisitions = t.s_shared;
+        update_acquisitions = t.s_update;
+        exclusive_acquisitions = t.s_exclusive;
+        upgrades = t.s_upgrades;
+      })

@@ -1,0 +1,58 @@
+(** The paper's three-mode lock (§3).
+
+    Compatibility matrix:
+
+    {v
+                shared    update    exclusive
+    shared      ok        ok        conflict
+    update      ok        conflict  conflict
+    exclusive   conflict  conflict  conflict
+    v}
+
+    An enquiry runs under a [shared] lock.  An update first takes the
+    [update] lock (excluding other updates but {e not} enquiries),
+    verifies its preconditions and commits its log entry to disk, then
+    {!upgrade}s to [exclusive] only for the virtual-memory mutation.
+    "These rules never exclude enquiry operations during disk
+    transfers, only during virtual memory operations."
+
+    A pending upgrade blocks new shared acquisitions, so the upgrading
+    updater cannot be starved by a stream of readers.
+
+    The lock does not track ownership: callers must pair [acquire] and
+    [release] correctly and call {!upgrade}/{!downgrade} only while
+    holding the corresponding mode (use the [with_*] wrappers where
+    possible). *)
+
+type t
+
+type mode = Shared | Update | Exclusive
+
+val create : unit -> t
+val acquire : t -> mode -> unit
+val release : t -> mode -> unit
+
+val upgrade : t -> unit
+(** Convert a held [Update] lock to [Exclusive]; blocks until current
+    readers drain while keeping new readers out. *)
+
+val downgrade : t -> unit
+(** Convert a held [Exclusive] lock back to [Update]. *)
+
+val with_lock : t -> mode -> (unit -> 'a) -> 'a
+(** Acquire, run, release (also on exception). *)
+
+(** Observability for tests and the E9 experiment. *)
+
+val readers : t -> int
+val update_held : t -> bool
+val exclusive_held : t -> bool
+
+type stats = {
+  shared_acquisitions : int;
+  update_acquisitions : int;
+  exclusive_acquisitions : int;
+  upgrades : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/wal/wal.ml: Buffer Bytes Digest Format Fun Int32 Sdb_storage Sdb_util String

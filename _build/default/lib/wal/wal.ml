@@ -1,0 +1,242 @@
+module Fs = Sdb_storage.Fs
+module Crc32 = Sdb_util.Crc32
+
+let magic = "SDBWAL1\n"
+let fingerprint_size = 16
+let header_size = String.length magic + fingerprint_size
+let frame_overhead = 8 (* u32 length + u32 crc *)
+let max_entry_size = 1 lsl 28
+
+type error =
+  | Not_a_log of string
+  | Fingerprint_mismatch of { expected : string; found : string }
+
+let pp_error ppf = function
+  | Not_a_log reason -> Format.fprintf ppf "not a log file: %s" reason
+  | Fingerprint_mismatch { expected; found } ->
+    Format.fprintf ppf "log fingerprint mismatch: expected %s, found %s"
+      (Digest.to_hex expected) (Digest.to_hex found)
+
+let check_fingerprint fp =
+  if String.length fp <> fingerprint_size then
+    invalid_arg "Wal: fingerprint must be 16 bytes"
+
+module Writer = struct
+  type t = {
+    w : Fs.writer;
+    mutable entries : int;
+    mutable length : int;
+    mutable closed : bool;
+  }
+
+  let create fs file ~fingerprint =
+    check_fingerprint fingerprint;
+    let w = fs.Fs.create file in
+    w.Fs.w_write (magic ^ fingerprint);
+    w.Fs.w_sync ();
+    { w; entries = 0; length = header_size; closed = false }
+
+  let reopen fs file ~fingerprint ~valid_length ~entries =
+    check_fingerprint fingerprint;
+    if valid_length < header_size then
+      invalid_arg "Wal.Writer.reopen: valid_length shorter than header";
+    let size = fs.Fs.file_size file in
+    if valid_length > size then invalid_arg "Wal.Writer.reopen: valid_length beyond EOF";
+    if valid_length < size then fs.Fs.truncate file valid_length;
+    let w = fs.Fs.open_append file in
+    { w; entries; length = valid_length; closed = false }
+
+  let check t = if t.closed then raise (Fs.Io_error "Wal.Writer: used after close")
+
+  let frame payload =
+    let len = String.length payload in
+    if len > max_entry_size then invalid_arg "Wal.Writer: entry too large";
+    let buf = Buffer.create (len + frame_overhead) in
+    Buffer.add_int32_le buf (Int32.of_int len);
+    Buffer.add_int32_le buf (Crc32.digest_string payload);
+    Buffer.add_string buf payload;
+    Buffer.contents buf
+
+  let append t payload =
+    check t;
+    let framed = frame payload in
+    t.w.Fs.w_write framed;
+    t.length <- t.length + String.length framed;
+    let index = t.entries in
+    t.entries <- index + 1;
+    index
+
+  let append_raw_frames t raw ~count =
+    check t;
+    if count < 0 then invalid_arg "Wal.Writer.append_raw_frames: negative count";
+    t.w.Fs.w_write raw;
+    t.length <- t.length + String.length raw;
+    t.entries <- t.entries + count
+
+  let sync t =
+    check t;
+    t.w.Fs.w_sync ()
+
+  let append_sync t payload =
+    let index = append t payload in
+    sync t;
+    index
+
+  let entries t = t.entries
+  let length t = t.length
+
+  let close t =
+    if not t.closed then begin
+      t.closed <- true;
+      t.w.Fs.w_close ()
+    end
+end
+
+module Reader = struct
+  type policy = Stop_at_damage | Skip_damaged
+  type entry = { index : int; payload : string; offset : int }
+
+  type outcome = {
+    entries_read : int;
+    skipped : int;
+    valid_length : int;
+    stopped_early : string option;
+    entries_beyond_damage : int;
+  }
+
+  (* Read exactly [n] bytes unless EOF or damage intervenes. *)
+  type chunk = Full of bytes | Short of int | Damaged of string
+
+  let read_exact r n =
+    let buf = Bytes.create n in
+    let rec go got =
+      if got = n then Full buf
+      else
+        match r.Fs.r_read buf got (n - got) with
+        | 0 -> Short got
+        | k -> go (got + k)
+        | exception Fs.Read_error { reason; _ } -> Damaged reason
+    in
+    go 0
+
+  let fold fs file ~fingerprint ~policy ~init ~f =
+    check_fingerprint fingerprint;
+    if not (fs.Fs.exists file) then Error (Not_a_log "file does not exist")
+    else begin
+      let r = fs.Fs.open_reader file in
+      Fun.protect
+        ~finally:(fun () -> r.Fs.r_close ())
+        (fun () ->
+          match read_exact r header_size with
+          | Short _ -> Error (Not_a_log "file shorter than header")
+          | Damaged reason -> Error (Not_a_log ("damaged header: " ^ reason))
+          | Full hdr ->
+            let found_magic = Bytes.sub_string hdr 0 (String.length magic) in
+            if not (String.equal found_magic magic) then
+              Error (Not_a_log "bad magic")
+            else begin
+              let found_fp = Bytes.sub_string hdr (String.length magic) fingerprint_size in
+              if not (String.equal found_fp fingerprint) then
+                Error (Fingerprint_mismatch { expected = fingerprint; found = found_fp })
+              else begin
+                let size = r.Fs.r_size in
+                (* Probe past a damaged entry with a known extent: any
+                   valid frames beyond it mean interior damage, not a
+                   torn tail. *)
+                let probe_beyond start =
+                  let rec go offset found =
+                    if offset + frame_overhead > size then found
+                    else begin
+                      r.Fs.r_seek offset;
+                      match read_exact r frame_overhead with
+                      | Short _ | Damaged _ -> found
+                      | Full hdr ->
+                        let len = Int32.to_int (Bytes.get_int32_le hdr 0) in
+                        let crc = Bytes.get_int32_le hdr 4 in
+                        if len < 0 || len > max_entry_size
+                           || offset + frame_overhead + len > size
+                        then found
+                        else begin
+                          match read_exact r len with
+                          | Short _ | Damaged _ -> found
+                          | Full payload ->
+                            if
+                              Crc32.equal
+                                (Crc32.digest_bytes payload ~pos:0 ~len)
+                                crc
+                            then go (offset + frame_overhead + len) (found + 1)
+                            else found
+                        end
+                    end
+                  in
+                  go start 0
+                in
+                let rec loop acc index skipped offset =
+                  let finish ?probe_from reason =
+                    let beyond =
+                      match probe_from with
+                      | Some start when reason <> None -> probe_beyond start
+                      | _ -> 0
+                    in
+                    ( acc,
+                      {
+                        entries_read = index;
+                        skipped;
+                        valid_length = offset;
+                        stopped_early = reason;
+                        entries_beyond_damage = beyond;
+                      } )
+                  in
+                  if offset >= size then finish None
+                  else
+                    match read_exact r frame_overhead with
+                    | Short 0 -> finish None
+                    | Short _ -> finish (Some "truncated frame header")
+                    | Damaged reason ->
+                      finish (Some ("damaged frame header: " ^ reason))
+                    | Full hdr ->
+                      let len = Int32.to_int (Bytes.get_int32_le hdr 0) in
+                      let crc = Bytes.get_int32_le hdr 4 in
+                      if len < 0 || len > max_entry_size then
+                        finish (Some "implausible entry length")
+                      else if offset + frame_overhead + len > size then
+                        finish (Some "truncated entry payload")
+                      else begin
+                        let after = offset + frame_overhead + len in
+                        match read_exact r len with
+                        | Short _ -> finish (Some "truncated entry payload")
+                        | Damaged reason -> begin
+                          match policy with
+                          | Stop_at_damage ->
+                            finish ~probe_from:after
+                              (Some ("torn entry payload: " ^ reason))
+                          | Skip_damaged ->
+                            r.Fs.r_seek after;
+                            loop acc index (skipped + 1) after
+                        end
+                        | Full payload_bytes ->
+                          let payload = Bytes.unsafe_to_string payload_bytes in
+                          if not (Crc32.equal (Crc32.digest_string payload) crc) then
+                            match policy with
+                            | Stop_at_damage ->
+                              finish ~probe_from:after (Some "entry crc mismatch")
+                            | Skip_damaged -> loop acc index (skipped + 1) after
+                          else begin
+                            let acc = f acc { index; payload; offset } in
+                            loop acc (index + 1) skipped after
+                          end
+                      end
+                in
+                Ok (loop init 0 0 header_size)
+              end
+            end)
+    end
+
+  let count_entries fs file ~fingerprint =
+    match
+      fold fs file ~fingerprint ~policy:Stop_at_damage ~init:0
+        ~f:(fun acc _ -> acc + 1)
+    with
+    | Ok (n, outcome) -> Ok (n, outcome)
+    | Error e -> Error e
+end

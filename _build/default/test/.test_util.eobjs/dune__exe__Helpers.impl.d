@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Filename Hashtbl List Printf QCheck2 QCheck_alcotest Sdb_pickle Sdb_storage Smalldb Unix

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Hashtbl Helpers List Printf QCheck2 Sdb_baselines Sdb_storage Sdb_util String

@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Alcotest Helpers List Printf Sdb_checkpoint Sdb_storage Sdb_wal String

@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Array Buffer Filename Fun Helpers List Printf String Sys Unix

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Hashtbl Helpers KV KVDb List Map Printf QCheck2 Sdb_checkpoint Sdb_pickle Sdb_storage Smalldb String Thread

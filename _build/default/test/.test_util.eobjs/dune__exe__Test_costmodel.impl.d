@@ -1,0 +1,1 @@
+test/test_costmodel.ml: Alcotest Float Format Helpers KV KVDb List Printf Sdb_checkpoint Sdb_costmodel Sdb_pickle Sdb_storage Sdb_util Smalldb String

@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Hashtbl Helpers KV KVDb List Printf QCheck2 Sdb_storage Sdb_util Smalldb

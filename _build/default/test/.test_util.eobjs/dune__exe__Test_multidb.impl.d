@@ -1,0 +1,1 @@
+test/test_multidb.ml: Alcotest Array Fun Hashtbl Helpers KV List Printf QCheck2 Sdb_multidb Sdb_storage String

@@ -1,0 +1,1 @@
+test/test_nameserver.ml: Alcotest Helpers List Map Option Printf QCheck2 Result Sdb_nameserver Sdb_storage Smalldb String

@@ -1,0 +1,1 @@
+test/test_pickle.ml: Alcotest Bytes Char Format Hashtbl Helpers Int32 Int64 List Printf QCheck2 Sdb_pickle String

@@ -1,0 +1,1 @@
+test/test_replica.ml: Alcotest Helpers List Printf Sdb_nameserver Sdb_replica Sdb_rpc Sdb_storage Thread

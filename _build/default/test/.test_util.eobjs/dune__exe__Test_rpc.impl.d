@@ -1,0 +1,1 @@
+test/test_rpc.ml: Alcotest Filename Fun Helpers List Printf Sdb_nameserver Sdb_pickle Sdb_rpc Sdb_storage String Thread Unix

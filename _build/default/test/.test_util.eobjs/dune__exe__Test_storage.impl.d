@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Bytes Char Format Helpers Printf Sdb_storage String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Buffer Bytes Char Fun Helpers List Printf QCheck2 Sdb_util String

@@ -1,0 +1,1 @@
+test/test_vlock.ml: Alcotest Helpers List Sdb_vlock Thread Unix

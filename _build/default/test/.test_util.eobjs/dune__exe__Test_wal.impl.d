@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Format Helpers List Printf QCheck2 Result Sdb_storage Sdb_wal String

@@ -1,0 +1,300 @@
+module Fs = Sdb_storage.Fs
+module Mem = Sdb_storage.Mem_fs
+module Multidb = Sdb_multidb.Multidb
+open Helpers
+
+let check = Alcotest.check
+
+module MDb = Multidb.Make (KV)
+
+let small_logs =
+  { Multidb.default_config with log_switch_bytes = 512 }
+
+let mem_mdb ?config ?(partitions = 4) ?(seed = 61) () =
+  let store = Mem.create_store ~seed () in
+  let fs = Mem.fs store in
+  (store, fs, MDb.open_exn ?config ~partitions fs)
+
+let get db ~partition k = MDb.query db ~partition (fun st -> Hashtbl.find_opt st k)
+let set db ~partition k v = MDb.update db ~partition (KV.Set (k, v))
+
+let fill db ~partitions ~n =
+  for i = 0 to n - 1 do
+    let partition = i mod partitions in
+    set db ~partition (Printf.sprintf "p%d-k%04d" partition i) (string_of_int i)
+  done
+
+let partition_sizes db ~partitions =
+  List.init partitions (fun k -> MDb.query db ~partition:k Hashtbl.length)
+
+(* ------------------------------------------------------------------ *)
+
+let test_basic_isolation () =
+  let _, _, db = mem_mdb () in
+  set db ~partition:0 "shared-key" "zero";
+  set db ~partition:1 "shared-key" "one";
+  check Alcotest.(option string) "p0" (Some "zero") (get db ~partition:0 "shared-key");
+  check Alcotest.(option string) "p1" (Some "one") (get db ~partition:1 "shared-key");
+  check Alcotest.(option string) "p2 empty" None (get db ~partition:2 "shared-key");
+  let s = MDb.stats db in
+  check Alcotest.int "lsn" 2 s.Multidb.lsn;
+  check Alcotest.int "partitions" 4 s.Multidb.partitions;
+  check Alcotest.int "one log" 1 s.Multidb.log_generations;
+  Alcotest.check_raises "bad partition"
+    (Invalid_argument "Multidb: partition 9 out of range") (fun () ->
+      ignore (get db ~partition:9 "x"))
+
+let test_one_write_per_update () =
+  let _, fs, db = mem_mdb () in
+  set db ~partition:0 "warm" "up";
+  let before = Fs.Counters.copy fs.Fs.counters in
+  set db ~partition:2 "k" "v";
+  let d = Fs.Counters.diff ~after:fs.Fs.counters ~before in
+  check Alcotest.int "one write" 1 d.Fs.Counters.data_writes;
+  check Alcotest.int "one sync" 1 d.Fs.Counters.syncs
+
+let test_durability_no_checkpoints () =
+  let _, fs, db = mem_mdb () in
+  fill db ~partitions:4 ~n:40;
+  MDb.close db;
+  let db2 = MDb.open_exn ~partitions:4 fs in
+  check Alcotest.(list int) "all partitions replayed" [ 10; 10; 10; 10 ]
+    (partition_sizes db2 ~partitions:4);
+  check Alcotest.int "lsn recovered" 40 (MDb.stats db2).Multidb.lsn;
+  check Alcotest.int "replayed" 40 (MDb.stats db2).Multidb.replayed;
+  (* LSNs continue. *)
+  set db2 ~partition:0 "after" "restart";
+  check Alcotest.int "lsn" 41 (MDb.stats db2).Multidb.lsn
+
+let test_partition_checkpoint_reduces_replay () =
+  let _, fs, db = mem_mdb () in
+  fill db ~partitions:4 ~n:40;
+  MDb.checkpoint_partition db 1;
+  MDb.close db;
+  let db2 = MDb.open_exn ~partitions:4 fs in
+  (* Partition 1's 10 updates were absorbed; the rest replay. *)
+  check Alcotest.int "replayed only others" 30 (MDb.stats db2).Multidb.replayed;
+  check Alcotest.(list int) "state complete" [ 10; 10; 10; 10 ]
+    (partition_sizes db2 ~partitions:4)
+
+let test_round_robin () =
+  let _, _, db = mem_mdb () in
+  fill db ~partitions:4 ~n:8;
+  MDb.checkpoint_next db;
+  MDb.checkpoint_next db;
+  let s = MDb.stats db in
+  let versions = List.map (fun p -> p.Multidb.p_checkpoint_version) s.Multidb.parts in
+  check Alcotest.(list int) "first two checkpointed" [ 1; 1; 0; 0 ] versions
+
+let test_log_switch_and_flush () =
+  let _, fs, db = mem_mdb ~config:small_logs () in
+  fill db ~partitions:4 ~n:60;
+  (* Checkpoint one partition: the log is big, so a new generation
+     starts; old ones stay because other partitions still need them. *)
+  MDb.checkpoint_partition db 0;
+  let s = MDb.stats db in
+  Alcotest.check Alcotest.bool "multiple generations" true
+    (s.Multidb.log_generations >= 2);
+  (* Checkpoint everything: all old generations become droppable. *)
+  MDb.checkpoint_all db;
+  let s = MDb.stats db in
+  check Alcotest.int "only current log" 1 s.Multidb.log_generations;
+  (* Old shared logs are actually gone from the disk. *)
+  let logs =
+    List.filter
+      (fun name -> String.length name >= 9 && String.sub name 0 9 = "sharedlog")
+      (fs.Fs.list_files ())
+  in
+  check Alcotest.int "one sharedlog file" 1 (List.length logs);
+  (* And everything still reopens. *)
+  MDb.close db;
+  let db2 = MDb.open_exn ~partitions:4 ~config:small_logs fs in
+  check Alcotest.(list int) "state survives flush" [ 15; 15; 15; 15 ]
+    (partition_sizes db2 ~partitions:4);
+  check Alcotest.int "nothing to replay" 0 (MDb.stats db2).Multidb.replayed
+
+let test_recovery_across_multiple_logs () =
+  let _, fs, db = mem_mdb ~config:small_logs () in
+  fill db ~partitions:4 ~n:30;
+  MDb.checkpoint_partition db 0;
+  (* switches log *)
+  fill db ~partitions:4 ~n:30;
+  MDb.checkpoint_partition db 1;
+  fill db ~partitions:4 ~n:20;
+  let expect = partition_sizes db ~partitions:4 in
+  MDb.close db;
+  let db2 = MDb.open_exn ~partitions:4 ~config:small_logs fs in
+  check Alcotest.(list int) "multi-log recovery" expect (partition_sizes db2 ~partitions:4);
+  Alcotest.check Alcotest.bool "several live generations" true
+    ((MDb.stats db2).Multidb.log_generations >= 2)
+
+let test_auto_round_robin_policy () =
+  let config =
+    { Multidb.log_switch_bytes = 1 lsl 20; auto_checkpoint_round_robin = Some 10 }
+  in
+  let _, _, db = mem_mdb ~config () in
+  fill db ~partitions:4 ~n:45;
+  let s = MDb.stats db in
+  let total_ckpts =
+    List.fold_left (fun acc p -> acc + p.Multidb.p_checkpoint_version) 0 s.Multidb.parts
+  in
+  check Alcotest.int "four automatic checkpoints" 4 total_ckpts
+
+let test_partition_count_fixed () =
+  let _, fs, db = mem_mdb ~partitions:4 () in
+  set db ~partition:0 "k" "v";
+  MDb.close db;
+  match MDb.open_ ~partitions:8 fs with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "partition count change accepted"
+
+let test_update_checked () =
+  let _, _, db = mem_mdb () in
+  set db ~partition:0 "exists" "yes";
+  (match
+     MDb.update_checked db ~partition:1
+       ~precondition:(fun st ->
+         if Hashtbl.mem st "exists" then Ok () else Error "not in this partition")
+       (KV.Set ("x", "1"))
+   with
+  | Error "not in this partition" -> ()
+  | Error e -> Alcotest.fail e
+  | Ok () -> Alcotest.fail "precondition saw the wrong partition");
+  check Alcotest.(option string) "nothing applied" None (get db ~partition:1 "x")
+
+(* Crash sweep: workload with per-partition checkpoints; recovery must
+   never lose a committed update or invent one, per partition. *)
+let test_crash_sweep () =
+  List.iter
+    (fun mode ->
+      let partitions = 3 in
+      let run crash_at seed =
+        let store = Mem.create_store ~seed () in
+        let fs = Mem.fs store in
+        let committed = Array.make partitions 0 in
+        let crashed = ref false in
+        (try
+           let db =
+             MDb.open_exn ~partitions
+               ~config:{ Multidb.default_config with log_switch_bytes = 400 }
+               fs
+           in
+           Mem.set_crash_after store ~ops:crash_at ~mode;
+           for i = 0 to 17 do
+             let k = i mod partitions in
+             MDb.update db ~partition:k
+               (KV.Set (Printf.sprintf "key%04d" i, string_of_int i));
+             committed.(k) <- committed.(k) + 1;
+             if i mod 6 = 5 then MDb.checkpoint_partition db (i mod partitions)
+           done;
+           Mem.disarm_crash store
+         with Mem.Crash -> crashed := true);
+        Mem.disarm_crash store;
+        (!crashed, committed, fs)
+      in
+      let k = ref 1 in
+      let continue = ref true in
+      while !continue do
+        let crashed, committed, fs = run !k (8000 + !k) in
+        if not !continue then ()
+        else if not crashed then continue := false
+        else begin
+          match MDb.open_ ~partitions fs with
+          | Error e -> Alcotest.fail (Printf.sprintf "crash@%d: %s" !k e)
+          | Ok db2 ->
+            let sizes = partition_sizes db2 ~partitions in
+            List.iteri
+              (fun p n ->
+                if n < committed.(p) then
+                  Alcotest.fail
+                    (Printf.sprintf "crash@%d: partition %d lost data (%d < %d)" !k p n
+                       committed.(p));
+                if n > committed.(p) + 1 then
+                  Alcotest.fail
+                    (Printf.sprintf "crash@%d: partition %d phantom (%d > %d)" !k p n
+                       committed.(p)))
+              sizes;
+            MDb.close db2
+        end;
+        incr k
+      done)
+    [ Mem.Clean; Mem.Torn ]
+
+(* Model property: random updates across partitions with interleaved
+   partition checkpoints and reopens always equal a per-partition model. *)
+type mcmd = MSet of int * int * int | MCkpt of int | MReopen
+
+let gen_mcmd =
+  QCheck2.Gen.(
+    frequency
+      [
+        (6, map3 (fun p k v -> MSet (p, k, v)) (0 -- 2) (0 -- 10) (0 -- 99));
+        (2, map (fun p -> MCkpt p) (0 -- 2));
+        (1, pure MReopen);
+      ])
+
+let prop_multidb_model =
+  Helpers.qtest ~count:60 "multidb matches per-partition model"
+    QCheck2.Gen.(list_size (0 -- 35) gen_mcmd)
+    (fun cmds ->
+      let partitions = 3 in
+      let store = Mem.create_store ~seed:77 () in
+      let fs = Mem.fs store in
+      let config = { Multidb.default_config with log_switch_bytes = 300 } in
+      let model = Array.init partitions (fun _ -> Hashtbl.create 8) in
+      let db = ref (MDb.open_exn ~config ~partitions fs) in
+      let agree () =
+        List.for_all
+          (fun p ->
+            MDb.query !db ~partition:p (fun st ->
+                Hashtbl.length st = Hashtbl.length model.(p)
+                && Hashtbl.fold
+                     (fun k v acc -> acc && Hashtbl.find_opt st k = Some v)
+                     model.(p) true))
+          (List.init partitions Fun.id)
+      in
+      let ok =
+        List.for_all
+          (fun cmd ->
+            (match cmd with
+            | MSet (p, k, v) ->
+              let key = Printf.sprintf "k%02d" k and value = string_of_int v in
+              Hashtbl.replace model.(p) key value;
+              MDb.update !db ~partition:p (KV.Set (key, value))
+            | MCkpt p -> MDb.checkpoint_partition !db p
+            | MReopen ->
+              MDb.close !db;
+              db := MDb.open_exn ~config ~partitions fs);
+            agree ())
+          cmds
+      in
+      MDb.close !db;
+      ok)
+
+let () =
+  Helpers.run "multidb"
+    [
+      ("model", [ prop_multidb_model ]);
+      ( "operations",
+        [
+          Alcotest.test_case "partition isolation" `Quick test_basic_isolation;
+          Alcotest.test_case "one write per update" `Quick test_one_write_per_update;
+          Alcotest.test_case "update_checked" `Quick test_update_checked;
+        ] );
+      ( "checkpoints",
+        [
+          Alcotest.test_case "durability without checkpoints" `Quick
+            test_durability_no_checkpoints;
+          Alcotest.test_case "partition checkpoint reduces replay" `Quick
+            test_partition_checkpoint_reduces_replay;
+          Alcotest.test_case "round robin" `Quick test_round_robin;
+          Alcotest.test_case "log switch and flush rules" `Quick
+            test_log_switch_and_flush;
+          Alcotest.test_case "recovery across multiple logs" `Quick
+            test_recovery_across_multiple_logs;
+          Alcotest.test_case "auto round-robin policy" `Quick
+            test_auto_round_robin_policy;
+          Alcotest.test_case "partition count fixed" `Quick test_partition_count_fixed;
+        ] );
+      ("crash", [ Alcotest.test_case "crash sweep" `Quick test_crash_sweep ]);
+    ]

@@ -1,0 +1,226 @@
+module Mem = Sdb_storage.Mem_fs
+module Ns = Sdb_nameserver.Nameserver
+module Data = Sdb_nameserver.Ns_data
+module Path = Sdb_nameserver.Name_path
+module Rpc = Sdb_rpc.Rpc
+module Proto = Sdb_rpc.Ns_protocol
+module Replica = Sdb_replica.Replica
+
+let check = Alcotest.check
+
+let p s = match Path.of_string s with Ok v -> v | Error e -> Alcotest.fail e
+
+(* A test cell: one replica with a local ns, servable over inproc RPC. *)
+type cell = {
+  ns : Ns.t;
+  store : Mem.store;
+  replica : Replica.t;
+  mutable server_threads : Thread.t list;
+  mutable server_transports : Rpc.Transport.t list;
+}
+
+let make_cell id seed =
+  let store = Mem.create_store ~seed () in
+  let ns = Ns.open_exn (Mem.fs store) in
+  { ns; store; replica = Replica.create ~id ns; server_threads = []; server_transports = [] }
+
+(* Connect [a] -> [b]: a client in [a] served by [b]'s name server.
+   [how] selects first registration (at a given acked position) or
+   reconnection of a known peer. *)
+let connect ?(how = `Add) a b =
+  let client_t, server_t = Rpc.Inproc.pair () in
+  let thread = Thread.create (fun () -> Proto.serve b.ns server_t) () in
+  b.server_threads <- thread :: b.server_threads;
+  b.server_transports <- server_t :: b.server_transports;
+  let client = Proto.Client.create client_t in
+  (match how with
+  | `Add -> Replica.add_peer a.replica ~id:(Replica.id b.replica) client
+  | `Add_from lsn ->
+    Replica.add_peer ~acked_lsn:lsn a.replica ~id:(Replica.id b.replica) client
+  | `Reconnect -> Replica.reconnect a.replica ~id:(Replica.id b.replica) client);
+  client
+
+let shutdown cell =
+  List.iter (fun t -> t.Rpc.Transport.close ()) cell.server_transports;
+  List.iter Thread.join cell.server_threads;
+  cell.server_threads <- [];
+  cell.server_transports <- []
+
+let test_eager_propagation () =
+  let a = make_cell "a" 1 and b = make_cell "b" 2 in
+  ignore (connect a b);
+  Replica.set_value a.replica (p "/users/adb") (Some "birrell");
+  Replica.set_value a.replica (p "/users/mbj") (Some "jones");
+  (* The peer saw both updates synchronously. *)
+  check Alcotest.(option string) "replicated" (Some "birrell")
+    (Ns.lookup b.ns (p "/users/adb"));
+  check Alcotest.(option string) "replicated 2" (Some "jones")
+    (Ns.lookup b.ns (p "/users/mbj"));
+  (match Replica.peers a.replica with
+  | [ r ] ->
+    check Alcotest.bool "reachable" true r.Replica.reachable;
+    check Alcotest.int "no backlog" 0 r.Replica.backlog
+  | _ -> Alcotest.fail "one peer expected");
+  check Alcotest.string "digests equal" (Replica.digest a.ns) (Replica.digest b.ns);
+  shutdown a;
+  shutdown b
+
+let test_unreachable_peer_and_anti_entropy () =
+  let a = make_cell "a" 3 and b = make_cell "b" 4 in
+  let _client = connect a b in
+  Replica.set_value a.replica (p "/x") (Some "1");
+  (* Partition: b's server goes away. *)
+  shutdown b;
+  Replica.set_value a.replica (p "/y") (Some "2");
+  Replica.set_value a.replica (p "/z") (Some "3");
+  (match Replica.peers a.replica with
+  | [ r ] ->
+    check Alcotest.bool "marked unreachable" false r.Replica.reachable;
+    Alcotest.check Alcotest.bool "backlog accumulates" true (r.Replica.backlog >= 2)
+  | _ -> Alcotest.fail "one peer");
+  (* b's updates from before the partition are intact. *)
+  check Alcotest.(option string) "pre-partition data" (Some "1") (Ns.lookup b.ns (p "/x"));
+  check Alcotest.(option string) "missed" None (Ns.lookup b.ns (p "/y"));
+  (* Heal: reconnect the same peer; its acked position is preserved,
+     so anti-entropy replays exactly the missed log suffix. *)
+  ignore (connect ~how:`Reconnect a b);
+  Replica.anti_entropy a.replica;
+  check Alcotest.(option string) "caught up y" (Some "2") (Ns.lookup b.ns (p "/y"));
+  check Alcotest.(option string) "caught up z" (Some "3") (Ns.lookup b.ns (p "/z"));
+  check Alcotest.string "converged" (Replica.digest a.ns) (Replica.digest b.ns);
+  shutdown a;
+  shutdown b
+
+let test_anti_entropy_snapshot_fallback () =
+  let a = make_cell "a" 5 and b = make_cell "b" 6 in
+  (* Updates and a checkpoint BEFORE the peer joins, so the log no
+     longer covers an empty peer's position (LSN 0): anti-entropy must
+     take the full-transfer path. *)
+  Replica.set_value a.replica (p "/old/one") (Some "1");
+  Replica.set_value a.replica (p "/old/two") (Some "2");
+  Replica.set_value a.replica (p "/new") (Some "3");
+  Ns.checkpoint a.ns;
+  ignore (connect ~how:(`Add_from 0) a b);
+  Replica.anti_entropy a.replica;
+  check Alcotest.(option string) "snapshot brought old" (Some "1")
+    (Ns.lookup b.ns (p "/old/one"));
+  check Alcotest.(option string) "snapshot brought new" (Some "3")
+    (Ns.lookup b.ns (p "/new"));
+  check Alcotest.string "converged" (Replica.digest a.ns) (Replica.digest b.ns);
+  shutdown a;
+  shutdown b
+
+let test_propagation_via_any_path () =
+  (* Updates made directly through the Nameserver API (not the Replica
+     wrapper) must still reach peers: propagation subscribes to the
+     engine's committed-update stream. *)
+  let a = make_cell "a" 21 and b = make_cell "b" 22 in
+  ignore (connect a b);
+  Ns.set_value a.ns (p "/direct") (Some "through-ns-api");
+  check Alcotest.(option string) "propagated" (Some "through-ns-api")
+    (Ns.lookup b.ns (p "/direct"));
+  (* Batch updates propagate too, in order. *)
+  Ns.Db.update_batch (Ns.db a.ns)
+    [ Ns.Set_value (p "/b1", Some "1"); Ns.Set_value (p "/b2", Some "2") ];
+  check Alcotest.(option string) "batch 1" (Some "1") (Ns.lookup b.ns (p "/b1"));
+  check Alcotest.(option string) "batch 2" (Some "2") (Ns.lookup b.ns (p "/b2"));
+  check Alcotest.string "converged" (Replica.digest a.ns) (Replica.digest b.ns);
+  shutdown a;
+  shutdown b
+
+let test_subscription_api () =
+  (* Engine-level: subscribers see (lsn, update) in order; unsubscribe
+     stops delivery. *)
+  let store = Sdb_storage.Mem_fs.create_store ~seed:23 () in
+  let ns = Ns.open_exn (Sdb_storage.Mem_fs.fs store) in
+  let seen = ref [] in
+  let sub = Ns.Db.subscribe (Ns.db ns) (fun lsn u -> seen := (lsn, u) :: !seen) in
+  Ns.set_value ns (p "/x") (Some "1");
+  Ns.set_value ns (p "/y") (Some "2");
+  (match List.rev !seen with
+  | [ (0, Ns.Set_value (px, _)); (1, Ns.Set_value (py, _)) ] ->
+    check Alcotest.bool "paths" true (px = p "/x" && py = p "/y")
+  | _ -> Alcotest.fail "wrong subscription stream");
+  Ns.Db.unsubscribe (Ns.db ns) sub;
+  Ns.set_value ns (p "/z") (Some "3");
+  check Alcotest.int "no delivery after unsubscribe" 2 (List.length !seen);
+  Ns.close ns
+
+let test_converged_with () =
+  let a = make_cell "a" 7 and b = make_cell "b" 8 in
+  let client_ab = connect a b in
+  Replica.set_value a.replica (p "/k") (Some "v");
+  Alcotest.check Alcotest.bool "converged" true
+    (Replica.converged_with a.replica client_ab);
+  (* Diverge b locally. *)
+  Ns.set_value b.ns (p "/only-b") (Some "x");
+  Alcotest.check Alcotest.bool "diverged" false
+    (Replica.converged_with a.replica client_ab);
+  shutdown a;
+  shutdown b
+
+let test_clone_from_peer () =
+  (* §4 hard-error recovery: rebuild a dead replica from a live one. *)
+  let a = make_cell "a" 9 in
+  Replica.set_value a.replica (p "/svc/mail") (Some "host1");
+  Replica.set_value a.replica (p "/svc/news") (Some "host2");
+  (* Serve a. *)
+  let client_t, server_t = Rpc.Inproc.pair () in
+  let thread = Thread.create (fun () -> Proto.serve a.ns server_t) () in
+  let client = Proto.Client.create client_t in
+  let fresh_store = Mem.create_store ~seed:10 () in
+  (match Replica.clone_from client (Mem.fs fresh_store) with
+  | Error e -> Alcotest.fail e
+  | Ok cloned ->
+    check Alcotest.(option string) "cloned value" (Some "host1")
+      (Ns.lookup cloned (p "/svc/mail"));
+    check Alcotest.string "clone converged" (Replica.digest a.ns) (Replica.digest cloned);
+    (* The clone is durable: reopen from its own disk. *)
+    Ns.close cloned;
+    let reopened = Ns.open_exn (Mem.fs fresh_store) in
+    check Alcotest.(option string) "durable clone" (Some "host2")
+      (Ns.lookup reopened (p "/svc/news")));
+  Proto.Client.close client;
+  server_t.Rpc.Transport.close ();
+  Thread.join thread
+
+let test_three_replicas_chain () =
+  let a = make_cell "a" 11 and b = make_cell "b" 12 and c = make_cell "c" 13 in
+  ignore (connect a b);
+  ignore (connect a c);
+  for i = 0 to 9 do
+    Replica.set_value a.replica (p (Printf.sprintf "/n%d" i)) (Some (string_of_int i))
+  done;
+  check Alcotest.string "a=b" (Replica.digest a.ns) (Replica.digest b.ns);
+  check Alcotest.string "a=c" (Replica.digest a.ns) (Replica.digest c.ns);
+  (* The paper's acceptable loss: updates at a dead replica that never
+     propagated.  Kill the a->b link, update, and confirm only b lags. *)
+  shutdown b;
+  Replica.set_value a.replica (p "/late") (Some "x");
+  check Alcotest.(option string) "c has it" (Some "x") (Ns.lookup c.ns (p "/late"));
+  check Alcotest.(option string) "b does not" None (Ns.lookup b.ns (p "/late"));
+  shutdown a;
+  shutdown c
+
+let () =
+  Helpers.run "replica"
+    [
+      ( "propagation",
+        [
+          Alcotest.test_case "eager propagation" `Quick test_eager_propagation;
+          Alcotest.test_case "three replicas" `Quick test_three_replicas_chain;
+          Alcotest.test_case "any update path propagates" `Quick
+            test_propagation_via_any_path;
+          Alcotest.test_case "subscription api" `Quick test_subscription_api;
+        ] );
+      ( "reconciliation",
+        [
+          Alcotest.test_case "unreachable + anti-entropy" `Quick
+            test_unreachable_peer_and_anti_entropy;
+          Alcotest.test_case "snapshot fallback" `Quick
+            test_anti_entropy_snapshot_fallback;
+          Alcotest.test_case "converged_with" `Quick test_converged_with;
+        ] );
+      ( "hard-errors",
+        [ Alcotest.test_case "clone from peer" `Quick test_clone_from_peer ] );
+    ]

@@ -1,0 +1,229 @@
+module Vlock = Sdb_vlock.Vlock
+
+let check = Alcotest.check
+
+(* Busy-wait with timeout so a broken lock fails the test instead of
+   hanging it. *)
+let wait_for ?(timeout = 5.0) what pred =
+  let start = Unix.gettimeofday () in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () -. start > timeout then
+      Alcotest.fail ("timeout waiting for " ^ what)
+    else begin
+      Thread.yield ();
+      go ()
+    end
+  in
+  go ()
+
+let spawn f = Thread.create f ()
+
+let test_shared_concurrent () =
+  let l = Vlock.create () in
+  Vlock.acquire l Vlock.Shared;
+  Vlock.acquire l Vlock.Shared;
+  check Alcotest.int "two readers" 2 (Vlock.readers l);
+  Vlock.release l Vlock.Shared;
+  Vlock.release l Vlock.Shared;
+  check Alcotest.int "drained" 0 (Vlock.readers l)
+
+let test_update_allows_shared () =
+  let l = Vlock.create () in
+  Vlock.acquire l Vlock.Update;
+  (* A reader must get in while update is held. *)
+  let got = ref false in
+  let t =
+    spawn (fun () ->
+        Vlock.acquire l Vlock.Shared;
+        got := true;
+        Vlock.acquire l Vlock.Shared |> ignore;
+        Vlock.release l Vlock.Shared;
+        Vlock.release l Vlock.Shared)
+  in
+  wait_for "reader under update" (fun () -> !got);
+  Thread.join t;
+  check Alcotest.bool "update still held" true (Vlock.update_held l);
+  Vlock.release l Vlock.Update
+
+let test_update_excludes_update () =
+  let l = Vlock.create () in
+  Vlock.acquire l Vlock.Update;
+  let second = ref false in
+  let t =
+    spawn (fun () ->
+        Vlock.acquire l Vlock.Update;
+        second := true;
+        Vlock.release l Vlock.Update)
+  in
+  Thread.delay 0.05;
+  check Alcotest.bool "second update blocked" false !second;
+  Vlock.release l Vlock.Update;
+  wait_for "second update proceeds" (fun () -> !second);
+  Thread.join t
+
+let test_exclusive_excludes_all () =
+  let l = Vlock.create () in
+  Vlock.acquire l Vlock.Exclusive;
+  check Alcotest.bool "exclusive held" true (Vlock.exclusive_held l);
+  let reader = ref false and updater = ref false in
+  let t1 =
+    spawn (fun () ->
+        Vlock.acquire l Vlock.Shared;
+        reader := true;
+        Vlock.release l Vlock.Shared)
+  in
+  let t2 =
+    spawn (fun () ->
+        Vlock.acquire l Vlock.Update;
+        updater := true;
+        Vlock.release l Vlock.Update)
+  in
+  Thread.delay 0.05;
+  check Alcotest.bool "reader blocked" false !reader;
+  check Alcotest.bool "updater blocked" false !updater;
+  Vlock.release l Vlock.Exclusive;
+  wait_for "reader proceeds" (fun () -> !reader);
+  wait_for "updater proceeds" (fun () -> !updater);
+  Thread.join t1;
+  Thread.join t2
+
+let test_upgrade_waits_for_readers () =
+  let l = Vlock.create () in
+  Vlock.acquire l Vlock.Shared;
+  Vlock.acquire l Vlock.Update;
+  let upgraded = ref false in
+  let t =
+    spawn (fun () ->
+        Vlock.upgrade l;
+        upgraded := true)
+  in
+  Thread.delay 0.05;
+  check Alcotest.bool "upgrade waits" false !upgraded;
+  (* New readers must not slip in while the upgrade is pending. *)
+  let late_reader = ref false in
+  let t2 =
+    spawn (fun () ->
+        Vlock.acquire l Vlock.Shared;
+        late_reader := true;
+        Vlock.release l Vlock.Shared)
+  in
+  Thread.delay 0.05;
+  check Alcotest.bool "late reader blocked" false !late_reader;
+  (* Existing reader leaves; upgrade completes. *)
+  Vlock.release l Vlock.Shared;
+  wait_for "upgrade completes" (fun () -> !upgraded);
+  check Alcotest.bool "now exclusive" true (Vlock.exclusive_held l);
+  check Alcotest.bool "late reader still blocked" false !late_reader;
+  Vlock.release l Vlock.Exclusive;
+  wait_for "late reader proceeds" (fun () -> !late_reader);
+  Thread.join t;
+  Thread.join t2
+
+let test_downgrade () =
+  let l = Vlock.create () in
+  Vlock.acquire l Vlock.Exclusive;
+  Vlock.downgrade l;
+  check Alcotest.bool "update held" true (Vlock.update_held l);
+  check Alcotest.bool "not exclusive" false (Vlock.exclusive_held l);
+  (* Readers can come in now. *)
+  Vlock.acquire l Vlock.Shared;
+  Vlock.release l Vlock.Shared;
+  Vlock.release l Vlock.Update
+
+let test_misuse_detected () =
+  let l = Vlock.create () in
+  Alcotest.check_raises "release shared unheld"
+    (Invalid_argument "Vlock.release: no shared holder") (fun () ->
+      Vlock.release l Vlock.Shared);
+  Alcotest.check_raises "release update unheld"
+    (Invalid_argument "Vlock.release: update not held") (fun () ->
+      Vlock.release l Vlock.Update);
+  Alcotest.check_raises "release exclusive unheld"
+    (Invalid_argument "Vlock.release: exclusive not held") (fun () ->
+      Vlock.release l Vlock.Exclusive);
+  Alcotest.check_raises "upgrade without update"
+    (Invalid_argument "Vlock.upgrade: update not held") (fun () -> Vlock.upgrade l);
+  Alcotest.check_raises "downgrade without exclusive"
+    (Invalid_argument "Vlock.downgrade: exclusive not held") (fun () ->
+      Vlock.downgrade l)
+
+let test_with_lock_releases_on_exception () =
+  let l = Vlock.create () in
+  (try Vlock.with_lock l Vlock.Update (fun () -> failwith "boom")
+   with Failure _ -> ());
+  check Alcotest.bool "released after exception" false (Vlock.update_held l);
+  (try Vlock.with_lock l Vlock.Shared (fun () -> failwith "boom")
+   with Failure _ -> ());
+  check Alcotest.int "reader released" 0 (Vlock.readers l)
+
+let test_stats () =
+  let l = Vlock.create () in
+  Vlock.with_lock l Vlock.Shared (fun () -> ());
+  Vlock.with_lock l Vlock.Update (fun () -> ());
+  Vlock.acquire l Vlock.Update;
+  Vlock.upgrade l;
+  Vlock.release l Vlock.Exclusive;
+  let s = Vlock.stats l in
+  check Alcotest.int "shared" 1 s.Vlock.shared_acquisitions;
+  check Alcotest.int "update" 2 s.Vlock.update_acquisitions;
+  check Alcotest.int "upgrades" 1 s.Vlock.upgrades
+
+(* Stress: concurrent readers and writers keep a counter consistent.
+   Writers mutate only under exclusive; readers observe only stable
+   states (even counter). *)
+let test_stress_invariant () =
+  let l = Vlock.create () in
+  let counter = ref 0 in
+  let torn_reads = ref 0 in
+  let writers =
+    List.init 4 (fun _ ->
+        spawn (fun () ->
+            for _ = 1 to 200 do
+              Vlock.acquire l Vlock.Update;
+              (* "log write" happens here, readers still active *)
+              Vlock.upgrade l;
+              incr counter;
+              incr counter;
+              Vlock.release l Vlock.Exclusive
+            done))
+  in
+  let readers =
+    List.init 4 (fun _ ->
+        spawn (fun () ->
+            for _ = 1 to 400 do
+              Vlock.with_lock l Vlock.Shared (fun () ->
+                  if !counter land 1 = 1 then incr torn_reads)
+            done))
+  in
+  List.iter Thread.join writers;
+  List.iter Thread.join readers;
+  check Alcotest.int "final counter" 1600 !counter;
+  check Alcotest.int "no torn reads" 0 !torn_reads
+
+let () =
+  Helpers.run "vlock"
+    [
+      ( "matrix",
+        [
+          Alcotest.test_case "shared compatible with shared" `Quick
+            test_shared_concurrent;
+          Alcotest.test_case "update allows shared" `Quick test_update_allows_shared;
+          Alcotest.test_case "update excludes update" `Quick test_update_excludes_update;
+          Alcotest.test_case "exclusive excludes all" `Quick test_exclusive_excludes_all;
+        ] );
+      ( "transitions",
+        [
+          Alcotest.test_case "upgrade waits, blocks new readers" `Quick
+            test_upgrade_waits_for_readers;
+          Alcotest.test_case "downgrade" `Quick test_downgrade;
+        ] );
+      ( "safety",
+        [
+          Alcotest.test_case "misuse detected" `Quick test_misuse_detected;
+          Alcotest.test_case "with_lock releases on exception" `Quick
+            test_with_lock_releases_on_exception;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "stress invariant" `Quick test_stress_invariant;
+        ] );
+    ]
