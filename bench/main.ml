@@ -21,6 +21,7 @@ module Rng = Sdb_util.Rng
 module Histogram = Sdb_util.Histogram
 module Tablefmt = Sdb_util.Tablefmt
 module Cost = Sdb_costmodel.Costmodel
+module Metrics = Sdb_obs.Metrics
 module Rpc = Sdb_rpc.Rpc
 module Proto = Sdb_rpc.Ns_protocol
 module Replica = Sdb_replica.Replica
@@ -96,6 +97,9 @@ let e2 ~quick () =
   let rng = Rng.create ~seed:22 in
   let updates = if quick then 1_000 else 3_000 in
   let db = Ns.db ns in
+  (* Start the registry from zero so its histograms cover exactly this
+     experiment's updates (build_ns also commits updates). *)
+  Metrics.reset ();
   let before_phase = (Ns.stats ns).Smalldb.phase in
   let snap = Cost.snapshot fs in
   let (), elapsed_ms =
@@ -151,6 +155,22 @@ let e2 ~quick () =
       ];
     ];
   let pickle_share = model.Cost.pickle_model_ms /. model.Cost.total_model_ms *. 100.0 in
+  (* The same phases as seen by the metrics registry: distributions,
+     not just the means above. *)
+  let registry_row phase =
+    let s =
+      Metrics.histogram_snapshot
+        (Metrics.histogram "sdb_update_phase_seconds" ~labels:[ ("phase", phase) ])
+    in
+    let us v = Printf.sprintf "%.1f us" (v *. 1e6) in
+    [
+      phase; string_of_int s.Histogram.s_count; us s.Histogram.s_mean;
+      us s.Histogram.s_p50; us s.Histogram.s_p99; us s.Histogram.s_max;
+    ]
+  in
+  Tablefmt.print
+    ~header:[ "phase (registry)"; "count"; "mean"; "p50"; "p99"; "max" ]
+    (List.map registry_row [ "verify"; "pickle"; "log"; "apply" ]);
   note "one disk write + one fsync per update: %d writes, %d syncs for %d updates"
     activity.Cost.disk.Fs.Counters.data_writes activity.Cost.disk.Fs.Counters.syncs
     updates;
@@ -1176,6 +1196,7 @@ let experiments =
 let () =
   let quick = ref false in
   let only = ref [] in
+  let metrics = ref false in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -1184,8 +1205,12 @@ let () =
     | "--only" :: ids :: rest ->
       only := String.split_on_char ',' ids @ !only;
       parse rest
+    | "--metrics" :: rest ->
+      metrics := true;
+      parse rest
     | arg :: _ ->
-      Printf.eprintf "usage: main.exe [--quick] [--only e1,e2,...]\nunknown: %s\n" arg;
+      Printf.eprintf
+        "usage: main.exe [--quick] [--metrics] [--only e1,e2,...]\nunknown: %s\n" arg;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
@@ -1204,4 +1229,8 @@ let () =
   let (), total_ms =
     time_ms (fun () -> List.iter (fun (_, f) -> f ~quick:!quick ()) selected)
   in
-  Printf.printf "\nall experiments completed in %s\n" (fmt_ms total_ms)
+  Printf.printf "\nall experiments completed in %s\n" (fmt_ms total_ms);
+  if !metrics then begin
+    print_endline "\n== metrics registry (whole run) ==";
+    print_string (Metrics.render ())
+  end

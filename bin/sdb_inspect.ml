@@ -129,12 +129,60 @@ let inspect dir =
     show_log fs r.Store.current.Store.log_file
   | Error e -> Printf.printf "state: CORRUPT (%s)\n" e)
 
+(* --metrics: scan the current generation's log through the real
+   Wal.Reader (populating the sdb_wal_* counters as a side effect) and
+   dump the whole registry in Prometheus text format. *)
+
+let read_log_fingerprint fs name =
+  let header_size = String.length wal_magic + 16 in
+  if not (fs.Fs.exists name) || fs.Fs.file_size name < header_size then None
+  else begin
+    let r = fs.Fs.open_reader name in
+    Fun.protect
+      ~finally:(fun () -> r.Fs.r_close ())
+      (fun () ->
+        let buf = Bytes.create header_size in
+        let rec go got =
+          if got = header_size then
+            if Bytes.sub_string buf 0 (String.length wal_magic) = wal_magic then
+              Some (Bytes.sub_string buf (String.length wal_magic) 16)
+            else None
+          else
+            match r.Fs.r_read buf got (header_size - got) with
+            | 0 -> None
+            | k -> go (got + k)
+            | exception Fs.Read_error _ -> None
+        in
+        go 0)
+  end
+
+let metrics_mode dir =
+  let fs = Sdb_storage.Real_fs.create ~root:dir in
+  (match Store.recover fs ~retain_previous:true with
+  | Ok (Some r) -> (
+    let log = r.Store.current.Store.log_file in
+    match read_log_fingerprint fs log with
+    | Some fingerprint ->
+      ignore
+        (Sdb_wal.Wal.Reader.fold fs log ~fingerprint
+           ~policy:Sdb_wal.Wal.Reader.Stop_at_damage ~init:()
+           ~f:(fun () _ -> ()))
+    | None -> ())
+  | Ok None | Error _ -> ());
+  print_string (Sdb_obs.Metrics.render ())
+
 let () =
+  let run ~metrics dir =
+    if Sys.file_exists dir && Sys.is_directory dir then
+      if metrics then metrics_mode dir else inspect dir
+    else begin
+      Printf.eprintf "no such directory: %s\n" dir;
+      exit 2
+    end
+  in
   match Sys.argv with
-  | [| _; dir |] when Sys.file_exists dir && Sys.is_directory dir -> inspect dir
-  | [| _; dir |] ->
-    Printf.eprintf "no such directory: %s\n" dir;
-    exit 2
+  | [| _; "--metrics"; dir |] | [| _; dir; "--metrics" |] -> run ~metrics:true dir
+  | [| _; dir |] -> run ~metrics:false dir
   | _ ->
-    prerr_endline "usage: sdb_inspect DIR";
+    prerr_endline "usage: sdb_inspect [--metrics] DIR";
     exit 2

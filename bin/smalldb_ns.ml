@@ -23,7 +23,7 @@ let parse_path s =
 (* ------------------------------------------------------------------ *)
 (* serve                                                                *)
 
-let serve dir socket checkpoint_bytes retain =
+let serve dir socket checkpoint_bytes retain metrics_interval =
   let fs = Sdb_storage.Real_fs.create ~root:dir in
   let config =
     {
@@ -48,6 +48,20 @@ let serve dir socket checkpoint_bytes retain =
     let handler _ = stop := true in
     ignore (Sys.signal Sys.sigint (Sys.Signal_handle handler));
     ignore (Sys.signal Sys.sigterm (Sys.Signal_handle handler));
+    (* Periodic metrics dump to stderr, where it cannot mix with client
+       output on stdout. *)
+    (match metrics_interval with
+    | Some secs when secs > 0.0 ->
+      ignore
+        (Thread.create
+           (fun () ->
+             while not !stop do
+               Unix.sleepf secs;
+               if not !stop then
+                 Printf.eprintf "%s%!" (Sdb_obs.Metrics.render ())
+             done)
+           ())
+    | _ -> ());
     while not !stop do
       Unix.sleepf 0.2
     done;
@@ -141,6 +155,9 @@ let status socket =
       Printf.printf "nodes:  %d\n" (Proto.Client.count_nodes c);
       Printf.printf "digest: %s\n" (Digest.to_hex (Proto.Client.digest c)))
 
+let metrics socket =
+  with_client socket (fun c -> print_string (Proto.Client.metrics c))
+
 (* ------------------------------------------------------------------ *)
 (* command line                                                         *)
 
@@ -174,8 +191,15 @@ let serve_cmd =
       & info [ "retain-previous" ]
           ~doc:"Keep the previous checkpoint generation for hard-error recovery.")
   in
+  let metrics_interval =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "metrics-interval" ] ~docv:"SECS"
+          ~doc:"Dump the metrics registry to stderr every SECS seconds.")
+  in
   Cmd.v (Cmd.info "serve" ~doc:"Run the name server.")
-    Term.(const serve $ dir $ socket_arg $ ckpt $ retain)
+    Term.(const serve $ dir $ socket_arg $ ckpt $ retain $ metrics_interval)
 
 let client_cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 
@@ -222,6 +246,8 @@ let cmds =
       Term.(const checkpoint $ socket_arg);
     client_cmd "status" "Print server LSN, node count and digest."
       Term.(const status $ socket_arg);
+    client_cmd "metrics" "Print the server's metrics registry (Prometheus text)."
+      Term.(const metrics $ socket_arg);
   ]
 
 let () =

@@ -3,6 +3,47 @@ module Fs = Sdb_storage.Fs
 module Wal = Sdb_wal.Wal
 module Vlock = Sdb_vlock.Vlock
 module Store = Sdb_checkpoint.Checkpoint_store
+module Metrics = Sdb_obs.Metrics
+module Trace = Sdb_obs.Trace
+
+(* Engine-wide metrics.  Shared across every [Make] instance: series
+   are process-level, like the registry itself.  The span taxonomy
+   (update.verify/log/apply, checkpoint, recovery.restore/replay) is a
+   public interface documented in DESIGN.md. *)
+
+let m_updates =
+  Metrics.counter "sdb_updates_total" ~help:"Updates committed by the engine."
+
+let phase_hist phase =
+  Metrics.histogram "sdb_update_phase_seconds"
+    ~help:"Per-update phase latency (the paper's E2 breakdown)."
+    ~labels:[ ("phase", phase) ]
+
+let m_phase_verify = phase_hist "verify"
+let m_phase_pickle = phase_hist "pickle"
+let m_phase_log = phase_hist "log"
+let m_phase_apply = phase_hist "apply"
+
+let m_checkpoints =
+  Metrics.counter "sdb_checkpoints_total" ~help:"Checkpoints written."
+
+let ckpt_hist phase =
+  Metrics.histogram "sdb_checkpoint_phase_seconds"
+    ~help:"Checkpoint phase latency." ~labels:[ ("phase", phase) ]
+
+let m_ckpt_pickle = ckpt_hist "pickle"
+let m_ckpt_write = ckpt_hist "write"
+
+let m_recoveries =
+  Metrics.counter "sdb_recoveries_total" ~help:"Successful restarts from disk."
+
+let recovery_hist phase =
+  Metrics.histogram "sdb_recovery_phase_seconds"
+    ~help:"Recovery phase latency (the paper's E4 breakdown)."
+    ~labels:[ ("phase", phase) ]
+
+let m_recovery_restore = recovery_hist "restore"
+let m_recovery_replay = recovery_hist "replay"
 
 module type APP = sig
   type state
@@ -268,6 +309,16 @@ module Make (App : APP) = struct
         let t = make fs config state wal gen.Store.version lsn recovery in
         t.t_restore <- t1 -. t0;
         t.t_replay <- t2 -. t1;
+        Metrics.incr m_recoveries;
+        Metrics.observe m_recovery_restore (t1 -. t0);
+        Metrics.observe m_recovery_replay (t2 -. t1);
+        if Trace.active () then begin
+          let attrs = [ ("app", App.name) ] in
+          Trace.span "recovery.restore" ~attrs ~start_s:t0 ~dur_s:(t1 -. t0);
+          Trace.span "recovery.replay"
+            ~attrs:(attrs @ [ ("replayed", string_of_int recovery.replayed) ])
+            ~start_s:t1 ~dur_s:(t2 -. t1)
+        end;
         Ok t)
 
   (* ---------------------------------------------------------------- *)
@@ -293,7 +344,19 @@ module Make (App : APP) = struct
        raise e);
     let t2 = now () in
     t.t_ckpt_pickle <- t.t_ckpt_pickle +. (t1 -. t0);
-    t.t_ckpt_write <- t.t_ckpt_write +. (t2 -. t1)
+    t.t_ckpt_write <- t.t_ckpt_write +. (t2 -. t1);
+    Metrics.incr m_checkpoints;
+    Metrics.observe m_ckpt_pickle (t1 -. t0);
+    Metrics.observe m_ckpt_write (t2 -. t1);
+    if Trace.active () then
+      Trace.span "checkpoint"
+        ~attrs:
+          [
+            ("app", App.name);
+            ("kind", "blocking");
+            ("generation", string_of_int t.generation);
+          ]
+        ~start_s:t0 ~dur_s:(t2 -. t0)
 
   let checkpoint t =
     check_usable t;
@@ -380,7 +443,19 @@ module Make (App : APP) = struct
            raise e);
         let t2 = now () in
         t.t_ckpt_pickle <- t.t_ckpt_pickle +. (t1 -. t0);
-        t.t_ckpt_write <- t.t_ckpt_write +. (t2 -. t1))
+        t.t_ckpt_write <- t.t_ckpt_write +. (t2 -. t1);
+        Metrics.incr m_checkpoints;
+        Metrics.observe m_ckpt_pickle (t1 -. t0);
+        Metrics.observe m_ckpt_write (t2 -. t1);
+        if Trace.active () then
+          Trace.span "checkpoint"
+            ~attrs:
+              [
+                ("app", App.name);
+                ("kind", "concurrent");
+                ("generation", string_of_int t.generation);
+              ]
+            ~start_s:t0 ~dur_s:(t2 -. t0))
 
   let due_for_checkpoint t =
     match t.config.policy with
@@ -429,11 +504,17 @@ module Make (App : APP) = struct
   let update_checked t ~precondition u =
     check_usable t;
     Vlock.acquire t.lock Vlock.Update;
+    let traced = Trace.active () in
+    let span_attrs = if traced then [ ("app", App.name) ] else [] in
     let verdict =
       match
         let t0 = now () in
         let v = precondition t.state in
-        t.t_verify <- t.t_verify +. (now () -. t0);
+        let dv = now () -. t0 in
+        t.t_verify <- t.t_verify +. dv;
+        Metrics.observe m_phase_verify dv;
+        if traced then
+          Trace.span "update.verify" ~attrs:span_attrs ~start_s:t0 ~dur_s:dv;
         v
       with
       | Error e ->
@@ -452,19 +533,32 @@ module Make (App : APP) = struct
             raise e);
          let t2 = now () in
          t.t_pickle <- t.t_pickle +. (t1 -. t0);
-         t.t_log <- t.t_log +. (t2 -. t1));
+         t.t_log <- t.t_log +. (t2 -. t1);
+         Metrics.observe m_phase_pickle (t1 -. t0);
+         Metrics.observe m_phase_log (t2 -. t1);
+         if traced then
+           (* One span covers pickle + append + fsync: the paper's
+              "write the log entry" step. *)
+           Trace.span "update.log"
+             ~attrs:(span_attrs @ [ ("bytes", string_of_int (String.length payload)) ])
+             ~start_s:t0 ~dur_s:(t2 -. t0));
         (* Committed: switch to exclusive for the memory mutation. *)
         Vlock.upgrade t.lock;
         (try
            let t0 = now () in
            t.state <- App.apply t.state u;
-           t.t_apply <- t.t_apply +. (now () -. t0)
+           let da = now () -. t0 in
+           t.t_apply <- t.t_apply +. da;
+           Metrics.observe m_phase_apply da;
+           if traced then
+             Trace.span "update.apply" ~attrs:span_attrs ~start_s:t0 ~dur_s:da
          with e ->
            t.poisoned <- true;
            Vlock.release t.lock Vlock.Exclusive;
            raise e);
         t.lsn <- t.lsn + 1;
         t.committed <- t.committed + 1;
+        Metrics.incr m_updates;
         let lsn = t.lsn - 1 in
         Vlock.release t.lock Vlock.Exclusive;
         notify t lsn u;
@@ -494,17 +588,22 @@ module Make (App : APP) = struct
           raise e);
        let t2 = now () in
        t.t_pickle <- t.t_pickle +. (t1 -. t0);
-       t.t_log <- t.t_log +. (t2 -. t1));
+       t.t_log <- t.t_log +. (t2 -. t1);
+       Metrics.observe m_phase_pickle (t1 -. t0);
+       Metrics.observe m_phase_log (t2 -. t1));
       Vlock.upgrade t.lock;
       (try
          let t0 = now () in
          List.iter (fun u -> t.state <- App.apply t.state u) updates;
-         t.t_apply <- t.t_apply +. (now () -. t0)
+         let da = now () -. t0 in
+         t.t_apply <- t.t_apply +. da;
+         Metrics.observe m_phase_apply da
        with e ->
          t.poisoned <- true;
          Vlock.release t.lock Vlock.Exclusive;
          raise e);
       let n = List.length updates in
+      Metrics.add m_updates n;
       let base = t.lsn in
       t.lsn <- t.lsn + n;
       t.committed <- t.committed + n;

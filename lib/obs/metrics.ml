@@ -1,0 +1,221 @@
+module H = Sdb_util.Histogram
+
+type labels = (string * string) list
+
+type counter = { c_value : int Atomic.t }
+type gauge = { g_mutex : Mutex.t; mutable g_value : float }
+type histogram = { h_mutex : Mutex.t; h_samples : H.t }
+
+type data =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type series = { labels : labels; data : data }
+
+(* One family per metric name; all its series share the kind. *)
+type family = {
+  f_name : string;
+  mutable f_help : string;
+  f_kind : string; (* "counter" | "gauge" | "summary" *)
+  mutable f_series : series list;
+}
+
+let enabled = Atomic.make true
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
+
+let registry : (string, family) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let canonical labels = List.sort compare labels
+
+let kind_of_data = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "summary"
+
+(* Find-or-create a series; the fresh thunk runs only under the lock. *)
+let intern name ~help ~labels ~kind fresh =
+  let labels = canonical labels in
+  locked (fun () ->
+      let family =
+        match Hashtbl.find_opt registry name with
+        | Some f ->
+          if not (String.equal f.f_kind kind) then
+            invalid_arg
+              (Printf.sprintf "Metrics: %s is a %s, requested as %s" name f.f_kind
+                 kind);
+          if f.f_help = "" && help <> "" then f.f_help <- help;
+          f
+        | None ->
+          let f = { f_name = name; f_help = help; f_kind = kind; f_series = [] } in
+          Hashtbl.add registry name f;
+          f
+      in
+      match List.find_opt (fun s -> s.labels = labels) family.f_series with
+      | Some s -> s.data
+      | None ->
+        let data = fresh () in
+        assert (String.equal (kind_of_data data) kind);
+        family.f_series <- family.f_series @ [ { labels; data } ];
+        data)
+
+let counter ?(help = "") ?(labels = []) name =
+  match
+    intern name ~help ~labels ~kind:"counter" (fun () ->
+        Counter { c_value = Atomic.make 0 })
+  with
+  | Counter c -> c
+  | _ -> assert false
+
+let gauge ?(help = "") ?(labels = []) name =
+  match
+    intern name ~help ~labels ~kind:"gauge" (fun () ->
+        Gauge { g_mutex = Mutex.create (); g_value = 0.0 })
+  with
+  | Gauge g -> g
+  | _ -> assert false
+
+let histogram ?(help = "") ?(labels = []) name =
+  match
+    intern name ~help ~labels ~kind:"summary" (fun () ->
+        Histogram { h_mutex = Mutex.create (); h_samples = H.create () })
+  with
+  | Histogram h -> h
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+
+let add c n =
+  if n < 0 then invalid_arg "Metrics.add: counters are monotone";
+  if Atomic.get enabled then ignore (Atomic.fetch_and_add c.c_value n)
+
+let incr c = add c 1
+
+let set_gauge g v =
+  if Atomic.get enabled then begin
+    Mutex.lock g.g_mutex;
+    g.g_value <- v;
+    Mutex.unlock g.g_mutex
+  end
+
+let observe h v =
+  if Atomic.get enabled then begin
+    Mutex.lock h.h_mutex;
+    H.record h.h_samples v;
+    Mutex.unlock h.h_mutex
+  end
+
+let time h f =
+  if Atomic.get enabled then begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect ~finally:(fun () -> observe h (Unix.gettimeofday () -. t0)) f
+  end
+  else f ()
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+
+let counter_value c = Atomic.get c.c_value
+
+let gauge_value g =
+  Mutex.lock g.g_mutex;
+  let v = g.g_value in
+  Mutex.unlock g.g_mutex;
+  v
+
+let histogram_snapshot h =
+  Mutex.lock h.h_mutex;
+  let s = H.snapshot h.h_samples in
+  Mutex.unlock h.h_mutex;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Exposition                                                          *)
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let format_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> k ^ "=\"" ^ escape_label_value v ^ "\"") labels)
+    ^ "}"
+
+let fmt_float v =
+  (* Shortest representation that round-trips; avoids "3.0000000001". *)
+  let s = Printf.sprintf "%.12g" v in
+  s
+
+let render_series buf family { labels; data } =
+  let line ?(suffix = "") ?(extra = []) value =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s%s %s\n" family.f_name suffix
+         (format_labels (labels @ extra))
+         value)
+  in
+  match data with
+  | Counter c -> line (string_of_int (counter_value c))
+  | Gauge g -> line (fmt_float (gauge_value g))
+  | Histogram h ->
+    let s = histogram_snapshot h in
+    let q name v = line ~extra:[ ("quantile", name) ] (fmt_float v) in
+    q "0.5" s.H.s_p50;
+    q "0.9" s.H.s_p90;
+    q "0.99" s.H.s_p99;
+    line ~suffix:"_sum" (fmt_float s.H.s_total);
+    line ~suffix:"_count" (string_of_int s.H.s_count);
+    line ~suffix:"_min" (fmt_float s.H.s_min);
+    line ~suffix:"_max" (fmt_float s.H.s_max)
+
+let render () =
+  locked (fun () ->
+      let families =
+        Hashtbl.fold (fun _ f acc -> f :: acc) registry []
+        |> List.sort (fun a b -> compare a.f_name b.f_name)
+      in
+      let buf = Buffer.create 4096 in
+      List.iter
+        (fun f ->
+          if f.f_help <> "" then
+            Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" f.f_name f.f_help);
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" f.f_name f.f_kind);
+          List.iter (render_series buf f)
+            (List.sort (fun a b -> compare a.labels b.labels) f.f_series))
+        families;
+      Buffer.contents buf)
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ f ->
+          List.iter
+            (fun s ->
+              match s.data with
+              | Counter c -> Atomic.set c.c_value 0
+              | Gauge g ->
+                Mutex.lock g.g_mutex;
+                g.g_value <- 0.0;
+                Mutex.unlock g.g_mutex
+              | Histogram h ->
+                Mutex.lock h.h_mutex;
+                H.clear h.h_samples;
+                Mutex.unlock h.h_mutex)
+            f.f_series)
+        registry)

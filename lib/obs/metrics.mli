@@ -1,0 +1,75 @@
+(** A process-wide metrics registry: named counters, gauges, and
+    label-tagged latency histograms.
+
+    Every metric belongs to a {e family} (its name, e.g.
+    ["sdb_update_phase_seconds"]) and is distinguished within the family
+    by its label set (e.g. [("phase", "verify")]).  Requesting the same
+    name and labels twice returns the same underlying metric, so
+    instrumentation sites can call {!counter}/{!gauge}/{!histogram}
+    freely without coordinating ownership.  Requesting a name that
+    already exists with a different metric kind raises
+    [Invalid_argument]: a family has exactly one kind.
+
+    The registry is cheap enough to leave on in the hot path: a counter
+    increment is one atomic fetch-and-add, a histogram observation is
+    one mutex-protected array store.  {!set_enabled}[ false] turns every
+    mutation into a single atomic load and branch, so instrumented code
+    needs no conditional of its own.  Use {!is_enabled} only to skip
+    {e extra} work (such as calling [Unix.gettimeofday] to produce a
+    sample); never to guard a plain [incr].
+
+    All operations are thread-safe. *)
+
+type labels = (string * string) list
+
+type counter
+type gauge
+type histogram
+
+val set_enabled : bool -> unit
+(** Globally enable (default) or disable recording.  Disabled, every
+    [incr]/[add]/[set_gauge]/[observe] is a no-op; reads and {!render}
+    still work and show the last recorded values. *)
+
+val is_enabled : unit -> bool
+
+(** {1 Creation (idempotent per name + labels)} *)
+
+val counter : ?help:string -> ?labels:labels -> string -> counter
+val gauge : ?help:string -> ?labels:labels -> string -> gauge
+val histogram : ?help:string -> ?labels:labels -> string -> histogram
+
+(** {1 Recording} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** Counters are monotone: [add] with a negative amount raises
+    [Invalid_argument]. *)
+
+val set_gauge : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** Run the thunk and observe its wall-clock duration in seconds (also
+    on exception).  When the registry is disabled the thunk runs
+    untimed. *)
+
+(** {1 Reading} *)
+
+val counter_value : counter -> int
+val gauge_value : gauge -> float
+val histogram_snapshot : histogram -> Sdb_util.Histogram.snapshot
+
+(** {1 Exposition} *)
+
+val render : unit -> string
+(** The whole registry in Prometheus text format, deterministically
+    ordered (families alphabetical, series by label value).  Histograms
+    render as summaries: [quantile="0.5"|"0.9"|"0.99"] series plus
+    [_sum], [_count], [_min] and [_max]. *)
+
+val reset : unit -> unit
+(** Zero every registered metric in place: counters and gauges to 0,
+    histograms emptied.  Handles stay valid (instrumentation sites keep
+    theirs for the process lifetime).  Intended for tests and for
+    benchmark phase isolation. *)

@@ -1,0 +1,121 @@
+type span = {
+  name : string;
+  start_s : float;
+  dur_s : float;
+  attrs : (string * string) list;
+}
+
+type sink = span -> unit
+
+(* The sink is read on every potential span: keep it an Atomic so the
+   hot path is one load, and writers need no lock. *)
+let current : sink option Atomic.t = Atomic.make None
+
+let set_sink s = Atomic.set current s
+let active () = Atomic.get current <> None
+
+let emit span =
+  match Atomic.get current with None -> () | Some sink -> sink span
+
+let span ?(attrs = []) name ~start_s ~dur_s = emit { name; start_s; dur_s; attrs }
+
+let with_span ?(attrs = []) name f =
+  if not (active ()) then f ()
+  else begin
+    let start_s = Unix.gettimeofday () in
+    match f () with
+    | v ->
+      emit { name; start_s; dur_s = Unix.gettimeofday () -. start_s; attrs };
+      v
+    | exception e ->
+      emit
+        {
+          name;
+          start_s;
+          dur_s = Unix.gettimeofday () -. start_s;
+          attrs = attrs @ [ ("error", Printexc.to_string e) ];
+        };
+      raise e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+
+let null_sink (_ : span) = ()
+
+let stderr_sink () =
+  let m = Mutex.create () in
+  fun s ->
+    let attrs =
+      String.concat "" (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) s.attrs)
+    in
+    Mutex.lock m;
+    Printf.eprintf "[trace] %s %.3fms%s\n%!" s.name (s.dur_s *. 1000.0) attrs;
+    Mutex.unlock m
+
+let json_escape v =
+  let buf = Buffer.create (String.length v + 2) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let jsonl_sink oc =
+  let m = Mutex.create () in
+  fun s ->
+    let attrs =
+      String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+           s.attrs)
+    in
+    Mutex.lock m;
+    Printf.fprintf oc "{\"name\":\"%s\",\"start_s\":%.6f,\"dur_s\":%.9f,\"attrs\":{%s}}\n"
+      (json_escape s.name) s.start_s s.dur_s attrs;
+    flush oc;
+    Mutex.unlock m
+
+module Ring = struct
+  type t = {
+    mutex : Mutex.t;
+    buf : span option array;
+    mutable next : int;  (* total spans ever written *)
+  }
+
+  let create ~capacity =
+    if capacity <= 0 then invalid_arg "Trace.Ring.create: capacity must be positive";
+    { mutex = Mutex.create (); buf = Array.make capacity None; next = 0 }
+
+  let sink t s =
+    Mutex.lock t.mutex;
+    t.buf.(t.next mod Array.length t.buf) <- Some s;
+    t.next <- t.next + 1;
+    Mutex.unlock t.mutex
+
+  let contents t =
+    Mutex.lock t.mutex;
+    let cap = Array.length t.buf in
+    let count = min t.next cap in
+    let first = t.next - count in
+    let out =
+      List.init count (fun i ->
+          match t.buf.((first + i) mod cap) with
+          | Some s -> s
+          | None -> assert false)
+    in
+    Mutex.unlock t.mutex;
+    out
+
+  let clear t =
+    Mutex.lock t.mutex;
+    Array.fill t.buf 0 (Array.length t.buf) None;
+    t.next <- 0;
+    Mutex.unlock t.mutex
+end

@@ -1,0 +1,74 @@
+(** Structured tracing: named spans with start time, duration, and
+    key/value attributes, delivered to a pluggable sink.
+
+    Span names are a public interface (tests and dashboards match on
+    them); the taxonomy used by the engine is documented in DESIGN.md.
+    A span is emitted once, when it {e completes} — sinks therefore see
+    spans in completion order, which for the engine's sequential update
+    path is also phase order.
+
+    Tracing is off by default ([set_sink None]): instrumented code
+    guards its span bookkeeping behind {!active}, so an untraced process
+    pays one atomic load per potential span. *)
+
+type span = {
+  name : string;
+  start_s : float;  (** [Unix.gettimeofday] at span start *)
+  dur_s : float;    (** duration in seconds *)
+  attrs : (string * string) list;
+}
+
+type sink = span -> unit
+(** Sinks must be thread-safe; spans from concurrent operations may
+    arrive from different threads. *)
+
+val set_sink : sink option -> unit
+(** Install the process-wide sink, or [None] to disable tracing. *)
+
+val active : unit -> bool
+(** [true] iff a sink is installed.  Check this before doing work whose
+    only purpose is producing a span (building attrs, timestamps). *)
+
+val emit : span -> unit
+(** Hand a completed span to the sink, if any. *)
+
+val span : ?attrs:(string * string) list -> string -> start_s:float -> dur_s:float -> unit
+(** [emit] for call sites that already hold the two timestamps. *)
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Time the thunk and emit the span when it returns.  If the thunk
+    raises, the span is still emitted with an added
+    [("error", exception)] attribute, and the exception is re-raised.
+    When tracing is inactive the thunk runs untimed. *)
+
+(** {1 Sinks} *)
+
+val null_sink : sink
+(** Swallows everything.  [set_sink (Some null_sink)] keeps tracing
+    "on" (spans are built and delivered) at minimal cost — used to
+    measure instrumentation overhead. *)
+
+val stderr_sink : unit -> sink
+(** Human-readable one-line-per-span pretty printer:
+    ["\[trace\] update.verify 0.012ms app=test-kv"]. *)
+
+val jsonl_sink : out_channel -> sink
+(** One JSON object per line:
+    [{"name":"update.log","start_s":…,"dur_s":…,"attrs":{…}}].
+    Flushes after every span so a crash loses at most the in-flight
+    line.  The caller owns the channel. *)
+
+module Ring : sig
+  (** A bounded in-memory span buffer, for tests: keeps the most recent
+      [capacity] spans, oldest first. *)
+
+  type t
+
+  val create : capacity:int -> t
+  val sink : t -> sink
+  val contents : t -> span list
+  (** Oldest-to-newest; at most [capacity] spans (older ones are
+      truncated away). *)
+
+  val clear : t -> unit
+end

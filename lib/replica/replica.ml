@@ -3,12 +3,26 @@ module Ns_data = Sdb_nameserver.Ns_data
 module Proto = Sdb_rpc.Ns_protocol
 module Rpc = Sdb_rpc.Rpc
 module P = Sdb_pickle.Pickle
+module Metrics = Sdb_obs.Metrics
+
+let m_pushes =
+  Metrics.counter "sdb_replica_pushes_total"
+    ~help:"Updates pushed to peers (eager or anti-entropy)."
+
+let m_push_failures =
+  Metrics.counter "sdb_replica_push_failures_total"
+    ~help:"Pushes that failed and marked the peer unreachable."
+
+let m_full_transfers =
+  Metrics.counter "sdb_replica_full_transfers_total"
+    ~help:"Anti-entropy rounds that fell back to a full state transfer."
 
 type peer = {
   p_id : string;
   mutable p_client : Proto.Client.t;
   mutable p_acked : int;  (* local LSNs below this are known applied *)
   mutable p_reachable : bool;
+  p_backlog : Metrics.gauge;  (* LSN delta to the local tip *)
 }
 
 type peer_report = { peer_id : string; reachable : bool; backlog : int }
@@ -31,15 +45,23 @@ let push_update client (u : Ns.update) =
 (* Eager propagation rides the engine's committed-update stream, so
    every update reaches the peers no matter which code path committed
    it. *)
+let set_backlog peer ~tip =
+  Metrics.set_gauge peer.p_backlog (float_of_int (max 0 (tip - peer.p_acked)))
+
 let on_commit t lsn u =
   List.iter
     (fun peer ->
       (* Only peers already at the tip can take this update directly;
          stragglers keep their ordered backlog for anti-entropy. *)
-      if peer.p_reachable && peer.p_acked = lsn then
-        match push_update peer.p_client u with
-        | () -> peer.p_acked <- lsn + 1
-        | exception Rpc.Rpc_error _ -> peer.p_reachable <- false)
+      (if peer.p_reachable && peer.p_acked = lsn then
+         match push_update peer.p_client u with
+         | () ->
+           peer.p_acked <- lsn + 1;
+           Metrics.incr m_pushes
+         | exception Rpc.Rpc_error _ ->
+           peer.p_reachable <- false;
+           Metrics.incr m_push_failures);
+      set_backlog peer ~tip:(lsn + 1))
     t.peer_list
 
 let create ~id ns =
@@ -54,8 +76,20 @@ let local_lsn t = (Ns.stats t.ns).Smalldb.lsn
 
 let add_peer ?acked_lsn t ~id client =
   let acked = Option.value acked_lsn ~default:(local_lsn t) in
-  t.peer_list <-
-    t.peer_list @ [ { p_id = id; p_client = client; p_acked = acked; p_reachable = true } ]
+  let peer =
+    {
+      p_id = id;
+      p_client = client;
+      p_acked = acked;
+      p_reachable = true;
+      p_backlog =
+        Metrics.gauge "sdb_replica_backlog"
+          ~help:"Updates the peer has not yet acknowledged (LSN delta)."
+          ~labels:[ ("replica", t.replica_id); ("peer", id) ];
+    }
+  in
+  set_backlog peer ~tip:(local_lsn t);
+  t.peer_list <- t.peer_list @ [ peer ]
 
 let reconnect t ~id client =
   match List.find_opt (fun p -> String.equal p.p_id id) t.peer_list with
@@ -71,28 +105,39 @@ let delete_subtree t path = update t (Ns.Delete_subtree path)
 
 let full_transfer t peer =
   let tree, lsn = Ns.snapshot_with_lsn t.ns in
-  match Proto.Client.write_subtree peer.p_client [] tree with
+  Metrics.incr m_full_transfers;
+  (match Proto.Client.write_subtree peer.p_client [] tree with
   | () ->
     peer.p_acked <- lsn;
     peer.p_reachable <- true
-  | exception Rpc.Rpc_error _ -> peer.p_reachable <- false
+  | exception Rpc.Rpc_error _ ->
+    peer.p_reachable <- false;
+    Metrics.incr m_push_failures);
+  set_backlog peer ~tip:(local_lsn t)
 
 let catch_up t peer =
   let tip = local_lsn t in
   if peer.p_acked < tip then begin
-    match Ns.updates_since t.ns peer.p_acked with
+    (match Ns.updates_since t.ns peer.p_acked with
     | None -> full_transfer t peer
     | Some entries -> (
       try
         List.iter
           (fun (lsn, u) ->
             push_update peer.p_client u;
-            peer.p_acked <- lsn + 1)
+            peer.p_acked <- lsn + 1;
+            Metrics.incr m_pushes)
           entries;
         peer.p_reachable <- true
-      with Rpc.Rpc_error _ -> peer.p_reachable <- false)
+      with Rpc.Rpc_error _ ->
+        peer.p_reachable <- false;
+        Metrics.incr m_push_failures));
+    set_backlog peer ~tip:(local_lsn t)
   end
-  else peer.p_reachable <- true
+  else begin
+    peer.p_reachable <- true;
+    set_backlog peer ~tip
+  end
 
 let anti_entropy t = List.iter (catch_up t) t.peer_list
 

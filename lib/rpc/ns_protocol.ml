@@ -50,6 +50,7 @@ let handlers ns =
     h ~meth:"digest" P.unit P.string (fun () ->
         let tree, _lsn = Ns.snapshot_with_lsn ns in
         Digest.string (P.encode codec_tree tree));
+    h ~meth:"metrics" P.unit P.string (fun () -> Sdb_obs.Metrics.render ());
   ]
 
 let serve ns transport = Rpc.Server.serve ~handlers:(handlers ns) transport
@@ -106,4 +107,5 @@ module Client = struct
 
   let checkpoint t = call t ~meth:"checkpoint" P.unit P.unit ()
   let digest t = call t ~meth:"digest" P.unit P.string ()
+  let metrics t = call t ~meth:"metrics" P.unit P.string ()
 end

@@ -65,4 +65,8 @@ module Client : sig
   val digest : t -> string
   (** MD5 of the canonical pickled snapshot; equal digests mean equal
       databases (used by the long-term consistency check). *)
+
+  val metrics : t -> string
+  (** The server process's {!Sdb_obs.Metrics.render} output
+      (Prometheus text exposition). *)
 end

@@ -1,4 +1,5 @@
 module P = Sdb_pickle.Pickle
+module Metrics = Sdb_obs.Metrics
 
 exception Rpc_error of string
 
@@ -217,6 +218,23 @@ end
 module Server = struct
   type handler = { h_meth : string; h_run : string -> (string, string) result }
 
+  (* Per-procedure series.  The label set is bounded by the handler
+     list, never by client input: requests for unregistered procedures
+     all land on the fixed "_unknown" series. *)
+  let m_requests meth =
+    Metrics.counter "sdb_rpc_requests_total"
+      ~help:"RPC requests served, by procedure." ~labels:[ ("meth", meth) ]
+
+  let m_latency meth =
+    Metrics.histogram "sdb_rpc_latency_seconds"
+      ~help:"Server-side handler latency, by procedure."
+      ~labels:[ ("meth", meth) ]
+
+  let m_errors meth =
+    Metrics.counter "sdb_rpc_errors_total"
+      ~help:"RPC requests answered with an error, by procedure."
+      ~labels:[ ("meth", meth) ]
+
   let handler ~meth arg_codec ret_codec f =
     let run args =
       match P.decode_result arg_codec args with
@@ -230,19 +248,37 @@ module Server = struct
 
   let serve ~handlers transport =
     let table = Hashtbl.create 16 in
-    List.iter (fun h -> Hashtbl.replace table h.h_meth h) handlers;
+    List.iter
+      (fun h ->
+        Hashtbl.replace table h.h_meth
+          (h, m_requests h.h_meth, m_latency h.h_meth, m_errors h.h_meth))
+      handlers;
+    let unknown_requests = m_requests "_unknown" in
+    let unknown_errors = m_errors "_unknown" in
     let rec loop () =
       match transport.Transport.recv () with
       | exception Rpc_error _ -> transport.Transport.close ()
       | msg ->
         let resp =
           match P.decode_result codec_request msg with
-          | Error m -> { resp_id = -1; payload = Error ("undecodable request: " ^ m) }
+          | Error m ->
+            Metrics.incr unknown_requests;
+            Metrics.incr unknown_errors;
+            { resp_id = -1; payload = Error ("undecodable request: " ^ m) }
           | Ok req -> (
             match Hashtbl.find_opt table req.meth with
             | None ->
+              Metrics.incr unknown_requests;
+              Metrics.incr unknown_errors;
               { resp_id = req.req_id; payload = Error ("unknown procedure " ^ req.meth) }
-            | Some h -> { resp_id = req.req_id; payload = h.h_run req.args })
+            | Some (h, mreq, mlat, merr) ->
+              Metrics.incr mreq;
+              let timed = Metrics.is_enabled () in
+              let t0 = if timed then Unix.gettimeofday () else 0.0 in
+              let payload = h.h_run req.args in
+              if timed then Metrics.observe mlat (Unix.gettimeofday () -. t0);
+              (match payload with Error _ -> Metrics.incr merr | Ok _ -> ());
+              { resp_id = req.req_id; payload })
         in
         (match transport.Transport.send (P.encode codec_response resp) with
         | () -> loop ()

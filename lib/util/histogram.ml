@@ -56,6 +56,49 @@ let percentile t p =
   let idx = if rank <= 0 then 0 else Stdlib.min (rank - 1) (t.len - 1) in
   s.(idx)
 
+let percentile_opt t p = if t.len = 0 then None else Some (percentile t p)
+
+type snapshot = {
+  s_count : int;
+  s_total : float;
+  s_mean : float;
+  s_min : float;
+  s_max : float;
+  s_p50 : float;
+  s_p90 : float;
+  s_p99 : float;
+}
+
+let empty_snapshot =
+  {
+    s_count = 0;
+    s_total = 0.0;
+    s_mean = 0.0;
+    s_min = 0.0;
+    s_max = 0.0;
+    s_p50 = 0.0;
+    s_p90 = 0.0;
+    s_p99 = 0.0;
+  }
+
+let snapshot t =
+  if t.len = 0 then empty_snapshot
+  else
+    {
+      s_count = t.len;
+      s_total = total t;
+      s_mean = mean t;
+      s_min = min t;
+      s_max = max t;
+      s_p50 = percentile t 50.0;
+      s_p90 = percentile t 90.0;
+      s_p99 = percentile t 99.0;
+    }
+
+let clear t =
+  t.len <- 0;
+  t.sorted <- None
+
 let merge a b =
   let t = create () in
   for i = 0 to a.len - 1 do

@@ -16,6 +16,29 @@ val percentile : t -> float -> float
 (** [percentile t 99.0] is the nearest-rank p99.  Raises
     [Invalid_argument] if empty or [p] outside [\[0,100\]]. *)
 
+val percentile_opt : t -> float -> float option
+(** Like {!percentile} but [None] on an empty histogram (still raises on
+    [p] outside [\[0,100\]]). *)
+
+type snapshot = {
+  s_count : int;
+  s_total : float;
+  s_mean : float;
+  s_min : float;
+  s_max : float;
+  s_p50 : float;
+  s_p90 : float;
+  s_p99 : float;
+}
+(** One consistent read of the usual summary statistics.  All fields of
+    an empty histogram's snapshot are zero ([s_count = 0]), so metric
+    exposition needs no emptiness guard at each call site. *)
+
+val snapshot : t -> snapshot
+
+val clear : t -> unit
+(** Forget all samples (capacity is retained). *)
+
 val total : t -> float
 val merge : t -> t -> t
 (** A fresh histogram holding both sample sets. *)

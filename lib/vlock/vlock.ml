@@ -1,3 +1,5 @@
+module Metrics = Sdb_obs.Metrics
+
 type mode = Shared | Update | Exclusive
 
 type stats = {
@@ -18,7 +20,48 @@ type t = {
   mutable s_update : int;
   mutable s_exclusive : int;
   mutable s_upgrades : int;
+  (* threads currently blocked inside acquire, per requested mode *)
+  mutable w_shared : int;
+  mutable w_update : int;
+  mutable w_exclusive : int;
+  (* acquisition timestamps for hold-time metrics (writer modes only:
+     shared holders are concurrent, a single timestamp has no owner) *)
+  mutable upd_since : float;
+  mutable excl_since : float;
 }
+
+let mode_label = function
+  | Shared -> "shared"
+  | Update -> "update"
+  | Exclusive -> "exclusive"
+
+let m_acquisitions mode =
+  Metrics.counter "sdb_lock_acquisitions_total"
+    ~help:"Lock acquisitions by mode."
+    ~labels:[ ("mode", mode_label mode) ]
+
+let m_wait mode =
+  Metrics.histogram "sdb_lock_wait_seconds"
+    ~help:"Time from requesting the lock to holding it, by mode."
+    ~labels:[ ("mode", mode_label mode) ]
+
+let m_hold mode =
+  Metrics.histogram "sdb_lock_hold_seconds"
+    ~help:"Time the lock was held, by mode (writer modes only)."
+    ~labels:[ ("mode", mode_label mode) ]
+
+let acq_shared = m_acquisitions Shared
+let acq_update = m_acquisitions Update
+let acq_exclusive = m_acquisitions Exclusive
+let wait_shared = m_wait Shared
+let wait_update = m_wait Update
+let wait_exclusive = m_wait Exclusive
+let hold_update = m_hold Update
+let hold_exclusive = m_hold Exclusive
+
+let m_upgrades =
+  Metrics.counter "sdb_lock_upgrades_total"
+    ~help:"Update-to-exclusive lock upgrades."
 
 let create () =
   {
@@ -32,6 +75,11 @@ let create () =
     s_update = 0;
     s_exclusive = 0;
     s_upgrades = 0;
+    w_shared = 0;
+    w_update = 0;
+    w_exclusive = 0;
+    upd_since = 0.0;
+    excl_since = 0.0;
   }
 
 let locked t f =
@@ -39,23 +87,32 @@ let locked t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
 let acquire t mode =
+  (* The timestamps exist only to feed the wait/hold histograms; skip
+     the gettimeofday calls entirely when the registry is off. *)
+  let timed = Metrics.is_enabled () in
+  let t0 = if timed then Unix.gettimeofday () else 0.0 in
   locked t (fun () ->
       match mode with
       | Shared ->
+        t.w_shared <- t.w_shared + 1;
         while t.excl || t.upgrade_pending do
           Condition.wait t.changed t.mutex
         done;
+        t.w_shared <- t.w_shared - 1;
         t.n_readers <- t.n_readers + 1;
         t.s_shared <- t.s_shared + 1
       | Update ->
+        t.w_update <- t.w_update + 1;
         while t.upd || t.excl do
           Condition.wait t.changed t.mutex
         done;
+        t.w_update <- t.w_update - 1;
         t.upd <- true;
         t.s_update <- t.s_update + 1
       | Exclusive ->
         (* Serialize against other writers first, then drain readers,
            exactly as an update that upgrades immediately. *)
+        t.w_exclusive <- t.w_exclusive + 1;
         while t.upd || t.excl do
           Condition.wait t.changed t.mutex
         done;
@@ -64,12 +121,30 @@ let acquire t mode =
         while t.n_readers > 0 do
           Condition.wait t.changed t.mutex
         done;
+        t.w_exclusive <- t.w_exclusive - 1;
         t.upd <- false;
         t.upgrade_pending <- false;
         t.excl <- true;
-        t.s_exclusive <- t.s_exclusive + 1)
+        t.s_exclusive <- t.s_exclusive + 1);
+  if timed then begin
+    let now = Unix.gettimeofday () in
+    (match mode with
+    | Shared ->
+      Metrics.incr acq_shared;
+      Metrics.observe wait_shared (now -. t0)
+    | Update ->
+      Metrics.incr acq_update;
+      Metrics.observe wait_update (now -. t0);
+      t.upd_since <- now
+    | Exclusive ->
+      Metrics.incr acq_exclusive;
+      Metrics.observe wait_exclusive (now -. t0);
+      t.excl_since <- now)
+  end
 
 let release t mode =
+  let timed = Metrics.is_enabled () in
+  let now = if timed then Unix.gettimeofday () else 0.0 in
   locked t (fun () ->
       (match mode with
       | Shared ->
@@ -77,13 +152,18 @@ let release t mode =
         t.n_readers <- t.n_readers - 1
       | Update ->
         if not t.upd then invalid_arg "Vlock.release: update not held";
-        t.upd <- false
+        t.upd <- false;
+        if timed && t.upd_since > 0.0 then
+          Metrics.observe hold_update (now -. t.upd_since)
       | Exclusive ->
         if not t.excl then invalid_arg "Vlock.release: exclusive not held";
-        t.excl <- false);
+        t.excl <- false;
+        if timed && t.excl_since > 0.0 then
+          Metrics.observe hold_exclusive (now -. t.excl_since));
       Condition.broadcast t.changed)
 
 let upgrade t =
+  let timed = Metrics.is_enabled () in
   locked t (fun () ->
       if not t.upd then invalid_arg "Vlock.upgrade: update not held";
       if t.upgrade_pending then invalid_arg "Vlock.upgrade: upgrade already pending";
@@ -94,13 +174,25 @@ let upgrade t =
       t.upd <- false;
       t.upgrade_pending <- false;
       t.excl <- true;
-      t.s_upgrades <- t.s_upgrades + 1)
+      t.s_upgrades <- t.s_upgrades + 1;
+      if timed then begin
+        let now = Unix.gettimeofday () in
+        if t.upd_since > 0.0 then Metrics.observe hold_update (now -. t.upd_since);
+        t.excl_since <- now
+      end);
+  Metrics.incr m_upgrades
 
 let downgrade t =
+  let timed = Metrics.is_enabled () in
   locked t (fun () ->
       if not t.excl then invalid_arg "Vlock.downgrade: exclusive not held";
       t.excl <- false;
       t.upd <- true;
+      if timed then begin
+        let now = Unix.gettimeofday () in
+        if t.excl_since > 0.0 then Metrics.observe hold_exclusive (now -. t.excl_since);
+        t.upd_since <- now
+      end;
       Condition.broadcast t.changed)
 
 let with_lock t mode f =
@@ -110,6 +202,13 @@ let with_lock t mode f =
 let readers t = locked t (fun () -> t.n_readers)
 let update_held t = locked t (fun () -> t.upd)
 let exclusive_held t = locked t (fun () -> t.excl)
+
+let waiters t mode =
+  locked t (fun () ->
+      match mode with
+      | Shared -> t.w_shared
+      | Update -> t.w_update
+      | Exclusive -> t.w_exclusive)
 
 let stats t =
   locked t (fun () ->

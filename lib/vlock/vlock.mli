@@ -42,11 +42,24 @@ val downgrade : t -> unit
 val with_lock : t -> mode -> (unit -> 'a) -> 'a
 (** Acquire, run, release (also on exception). *)
 
-(** Observability for tests and the E9 experiment. *)
+(** Observability for tests, the E9 experiment, and the metrics layer.
+
+    Every acquisition also feeds the process-wide {!Sdb_obs.Metrics}
+    registry: [sdb_lock_acquisitions_total{mode}] and
+    [sdb_lock_wait_seconds{mode}] for all three modes,
+    [sdb_lock_hold_seconds{mode}] for the writer modes, and
+    [sdb_lock_upgrades_total].  With the registry disabled the lock
+    takes no timestamps. *)
 
 val readers : t -> int
 val update_held : t -> bool
 val exclusive_held : t -> bool
+
+val waiters : t -> mode -> int
+(** Number of threads currently blocked inside {!acquire} for the given
+    mode.  An upgrading exclusive acquirer counts as an [Exclusive]
+    waiter until it holds the lock.  (Threads blocked in {!upgrade}
+    itself are not counted: they already hold [Update].) *)
 
 type stats = {
   shared_acquisitions : int;

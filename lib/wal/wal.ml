@@ -1,5 +1,34 @@
 module Fs = Sdb_storage.Fs
 module Crc32 = Sdb_util.Crc32
+module Metrics = Sdb_obs.Metrics
+
+let m_appends =
+  Metrics.counter "sdb_wal_appends_total" ~help:"Log entries appended."
+
+let m_appended_bytes =
+  Metrics.counter "sdb_wal_appended_bytes_total"
+    ~help:"Framed bytes appended to the log."
+
+let m_append_seconds =
+  Metrics.histogram "sdb_wal_append_seconds"
+    ~help:"Latency of one framed append (write, no sync)."
+
+let m_fsync_seconds =
+  Metrics.histogram "sdb_wal_fsync_seconds" ~help:"Latency of one log fsync."
+
+let m_syncs = Metrics.counter "sdb_wal_syncs_total" ~help:"Log fsyncs issued."
+
+let m_entries_read =
+  Metrics.counter "sdb_wal_entries_read_total"
+    ~help:"Valid entries decoded by log scans."
+
+let m_crc_failures =
+  Metrics.counter "sdb_wal_crc_failures_total"
+    ~help:"Entries whose CRC or payload read failed during a scan."
+
+let m_torn_tails =
+  Metrics.counter "sdb_wal_torn_tails_total"
+    ~help:"Scans that stopped early at a damaged or truncated tail."
 
 let magic = "SDBWAL1\n"
 let fingerprint_size = 16
@@ -60,7 +89,12 @@ module Writer = struct
   let append t payload =
     check t;
     let framed = frame payload in
+    let timed = Metrics.is_enabled () in
+    let t0 = if timed then Unix.gettimeofday () else 0.0 in
     t.w.Fs.w_write framed;
+    if timed then Metrics.observe m_append_seconds (Unix.gettimeofday () -. t0);
+    Metrics.incr m_appends;
+    Metrics.add m_appended_bytes (String.length framed);
     t.length <- t.length + String.length framed;
     let index = t.entries in
     t.entries <- index + 1;
@@ -75,7 +109,11 @@ module Writer = struct
 
   let sync t =
     check t;
-    t.w.Fs.w_sync ()
+    let timed = Metrics.is_enabled () in
+    let t0 = if timed then Unix.gettimeofday () else 0.0 in
+    t.w.Fs.w_sync ();
+    if timed then Metrics.observe m_fsync_seconds (Unix.gettimeofday () -. t0);
+    Metrics.incr m_syncs
 
   let append_sync t payload =
     let index = append t payload in
@@ -178,6 +216,8 @@ module Reader = struct
                       | Some start when reason <> None -> probe_beyond start
                       | _ -> 0
                     in
+                    Metrics.add m_entries_read index;
+                    if reason <> None then Metrics.incr m_torn_tails;
                     ( acc,
                       {
                         entries_read = index;
@@ -206,6 +246,7 @@ module Reader = struct
                         match read_exact r len with
                         | Short _ -> finish (Some "truncated entry payload")
                         | Damaged reason -> begin
+                          Metrics.incr m_crc_failures;
                           match policy with
                           | Stop_at_damage ->
                             finish ~probe_from:after
@@ -216,11 +257,13 @@ module Reader = struct
                         end
                         | Full payload_bytes ->
                           let payload = Bytes.unsafe_to_string payload_bytes in
-                          if not (Crc32.equal (Crc32.digest_string payload) crc) then
+                          if not (Crc32.equal (Crc32.digest_string payload) crc) then begin
+                            Metrics.incr m_crc_failures;
                             match policy with
                             | Stop_at_damage ->
                               finish ~probe_from:after (Some "entry crc mismatch")
                             | Skip_damaged -> loop acc index (skipped + 1) after
+                          end
                           else begin
                             let acc = f acc { index; payload; offset } in
                             loop acc (index + 1) skipped after

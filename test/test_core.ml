@@ -522,6 +522,57 @@ let test_phase_times_accumulate () =
   let p2 = (KVDb.stats db2).Smalldb.phase in
   Alcotest.check Alcotest.bool "restore timed" true (p2.Smalldb.restore_s >= 0.0)
 
+(* The span taxonomy is a public interface: exactly these names, in
+   this order, from the engine's code paths. *)
+
+module Trace = Sdb_obs.Trace
+
+let with_ring f =
+  let ring = Trace.Ring.create ~capacity:64 in
+  Trace.set_sink (Some (Trace.Ring.sink ring));
+  Fun.protect ~finally:(fun () -> Trace.set_sink None) (fun () -> f ring)
+
+let span_names ring = List.map (fun s -> s.Trace.name) (Trace.Ring.contents ring)
+
+let test_update_span_sequence () =
+  let _, _, db = mem_db () in
+  with_ring (fun ring ->
+      KVDb.update db (KV.Set ("k", "v"));
+      check
+        (Alcotest.list Alcotest.string)
+        "one update, three phase spans"
+        [ "update.verify"; "update.log"; "update.apply" ]
+        (span_names ring);
+      (* Every span carries the application name. *)
+      List.iter
+        (fun s ->
+          check Alcotest.(option string) "app attr" (Some "test-kv")
+            (List.assoc_opt "app" s.Trace.attrs))
+        (Trace.Ring.contents ring);
+      Trace.Ring.clear ring;
+      KVDb.checkpoint db;
+      check
+        (Alcotest.list Alcotest.string)
+        "checkpoint span" [ "checkpoint" ] (span_names ring))
+
+let test_recovery_spans_after_reopen () =
+  let _, fs, db = mem_db () in
+  for i = 0 to 4 do
+    KVDb.update db (sequenced_update i)
+  done;
+  KVDb.close db;
+  with_ring (fun ring ->
+      let db2 = KVDb.open_exn fs in
+      check
+        (Alcotest.list Alcotest.string)
+        "recovery spans in phase order"
+        [ "recovery.restore"; "recovery.replay" ]
+        (span_names ring);
+      let replay = List.nth (Trace.Ring.contents ring) 1 in
+      check Alcotest.(option string) "replayed count attr" (Some "5")
+        (List.assoc_opt "replayed" replay.Trace.attrs);
+      KVDb.close db2)
+
 (* ------------------------------------------------------------------ *)
 (* Concurrent (fuzzy) checkpoints                                       *)
 
@@ -808,7 +859,12 @@ let () =
           prop_history_prefix;
         ] );
       ( "instrumentation",
-        [ Alcotest.test_case "phase times" `Quick test_phase_times_accumulate ] );
+        [
+          Alcotest.test_case "phase times" `Quick test_phase_times_accumulate;
+          Alcotest.test_case "update span sequence" `Quick test_update_span_sequence;
+          Alcotest.test_case "recovery spans after reopen" `Quick
+            test_recovery_spans_after_reopen;
+        ] );
       ( "concurrent-checkpoint",
         [
           Alcotest.test_case "basic" `Quick test_concurrent_checkpoint_basic;

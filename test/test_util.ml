@@ -269,6 +269,40 @@ let test_histogram_empty_errors () =
   Alcotest.check_raises "mean of empty" (Invalid_argument "Histogram.mean: empty")
     (fun () -> ignore (Histogram.mean h))
 
+let test_histogram_percentile_opt () =
+  let h = Histogram.create () in
+  check (Alcotest.option (Alcotest.float 1e-9)) "empty" None
+    (Histogram.percentile_opt h 50.0);
+  List.iter (Histogram.record h) [ 1.0; 2.0; 3.0 ];
+  check (Alcotest.option (Alcotest.float 1e-9)) "median" (Some 2.0)
+    (Histogram.percentile_opt h 50.0);
+  (* Must agree with the raising variant on non-empty data. *)
+  check (Alcotest.float 1e-9) "agrees with percentile" (Histogram.percentile h 90.0)
+    (Option.get (Histogram.percentile_opt h 90.0))
+
+let test_histogram_snapshot () =
+  let h = Histogram.create () in
+  let s0 = Histogram.snapshot h in
+  check Alcotest.int "empty count" 0 s0.Histogram.s_count;
+  check (Alcotest.float 1e-9) "empty mean" 0.0 s0.Histogram.s_mean;
+  check (Alcotest.float 1e-9) "empty max" 0.0 s0.Histogram.s_max;
+  for i = 1 to 100 do
+    Histogram.record h (float_of_int i)
+  done;
+  let s = Histogram.snapshot h in
+  check Alcotest.int "count" 100 s.Histogram.s_count;
+  check (Alcotest.float 1e-9) "total" 5050.0 s.Histogram.s_total;
+  check (Alcotest.float 1e-9) "mean" 50.5 s.Histogram.s_mean;
+  check (Alcotest.float 1e-9) "min" 1.0 s.Histogram.s_min;
+  check (Alcotest.float 1e-9) "max" 100.0 s.Histogram.s_max;
+  check (Alcotest.float 1e-9) "p50" (Histogram.percentile h 50.0) s.Histogram.s_p50;
+  check (Alcotest.float 1e-9) "p90" (Histogram.percentile h 90.0) s.Histogram.s_p90;
+  check (Alcotest.float 1e-9) "p99" (Histogram.percentile h 99.0) s.Histogram.s_p99;
+  Histogram.clear h;
+  check Alcotest.int "cleared" 0 (Histogram.count h);
+  Histogram.record h 7.0;
+  check (Alcotest.float 1e-9) "usable after clear" 7.0 (Histogram.mean h)
+
 let () =
   Helpers.run "util"
     [
@@ -310,5 +344,7 @@ let () =
           Alcotest.test_case "basics" `Quick test_histogram_basics;
           Alcotest.test_case "growth and merge" `Quick test_histogram_growth_and_merge;
           Alcotest.test_case "empty errors" `Quick test_histogram_empty_errors;
+          Alcotest.test_case "percentile_opt" `Quick test_histogram_percentile_opt;
+          Alcotest.test_case "snapshot and clear" `Quick test_histogram_snapshot;
         ] );
     ]

@@ -169,6 +169,30 @@ let test_stats () =
   check Alcotest.int "update" 2 s.Vlock.update_acquisitions;
   check Alcotest.int "upgrades" 1 s.Vlock.upgrades
 
+let test_waiters () =
+  let l = Vlock.create () in
+  check Alcotest.int "idle: no shared waiters" 0 (Vlock.waiters l Vlock.Shared);
+  check Alcotest.int "idle: no update waiters" 0 (Vlock.waiters l Vlock.Update);
+  Vlock.acquire l Vlock.Exclusive;
+  let done_ = ref 0 in
+  let blocked mode =
+    spawn (fun () ->
+        Vlock.acquire l mode;
+        Vlock.release l mode;
+        incr done_)
+  in
+  let t1 = blocked Vlock.Shared in
+  let t2 = blocked Vlock.Shared in
+  let t3 = blocked Vlock.Update in
+  wait_for "two shared waiters" (fun () -> Vlock.waiters l Vlock.Shared = 2);
+  wait_for "one update waiter" (fun () -> Vlock.waiters l Vlock.Update = 1);
+  check Alcotest.int "no exclusive waiters" 0 (Vlock.waiters l Vlock.Exclusive);
+  Vlock.release l Vlock.Exclusive;
+  wait_for "all proceed" (fun () -> !done_ = 3);
+  List.iter Thread.join [ t1; t2; t3 ];
+  check Alcotest.int "drained shared" 0 (Vlock.waiters l Vlock.Shared);
+  check Alcotest.int "drained update" 0 (Vlock.waiters l Vlock.Update)
+
 (* Stress: concurrent readers and writers keep a counter consistent.
    Writers mutate only under exclusive; readers observe only stable
    states (even counter). *)
@@ -224,6 +248,7 @@ let () =
           Alcotest.test_case "with_lock releases on exception" `Quick
             test_with_lock_releases_on_exception;
           Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "waiters" `Quick test_waiters;
           Alcotest.test_case "stress invariant" `Quick test_stress_invariant;
         ] );
     ]
