@@ -72,13 +72,20 @@ let serve dir socket checkpoint_bytes retain metrics_interval =
 (* ------------------------------------------------------------------ *)
 (* client commands                                                      *)
 
-let with_client socket f =
+(* [conn] is (socket path, per-call deadline).  Client commands are one
+   request against a possibly wedged server: without a deadline they
+   would hang forever, so default to a few seconds and let --timeout 0
+   opt out. *)
+let with_client (socket, timeout) f =
+  let deadline_s =
+    match timeout with Some s when s > 0.0 -> Some s | _ -> None
+  in
   match Rpc.Socket.connect ~path:socket with
   | exception Rpc.Rpc_error e ->
     prerr_endline e;
     exit 1
   | transport ->
-    let client = Proto.Client.create transport in
+    let client = Proto.Client.create ?deadline_s transport in
     Fun.protect ~finally:(fun () -> Proto.Client.close client) (fun () ->
         try f client
         with Rpc.Rpc_error e ->
@@ -167,6 +174,16 @@ let socket_arg =
     & opt (some string) None
     & info [ "socket"; "s" ] ~docv:"PATH" ~doc:"Unix-domain socket of the server.")
 
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) (Some 5.0)
+    & info [ "timeout"; "t" ] ~docv:"SECS"
+        ~doc:"Per-call RPC deadline in seconds; 0 waits forever.")
+
+(* socket + deadline, the connection spec every client command takes. *)
+let conn_arg = Term.(const (fun s t -> (s, t)) $ socket_arg $ timeout_arg)
+
 let name_arg index =
   Arg.(
     required & pos index (some string) None & info [] ~docv:"NAME" ~doc:"Name (path).")
@@ -220,34 +237,34 @@ let cmds =
   [
     serve_cmd;
     client_cmd "lookup" "Print the value bound at NAME."
-      Term.(const lookup $ socket_arg $ name_arg 0);
+      Term.(const lookup $ conn_arg $ name_arg 0);
     client_cmd "set" "Bind VALUE at NAME (creating intermediate names)."
-      Term.(const set $ socket_arg $ name_arg 0 $ value_arg 1);
+      Term.(const set $ conn_arg $ name_arg 0 $ value_arg 1);
     client_cmd "unset" "Remove the value at NAME, keeping the node."
-      Term.(const unset $ socket_arg $ name_arg 0);
+      Term.(const unset $ conn_arg $ name_arg 0);
     client_cmd "ls" "List the children of NAME."
-      Term.(const ls $ socket_arg $ name_arg 0);
+      Term.(const ls $ conn_arg $ name_arg 0);
     client_cmd "rm" "Delete the subtree at NAME."
-      Term.(const rm $ socket_arg $ name_arg 0);
+      Term.(const rm $ conn_arg $ name_arg 0);
     client_cmd "mkdir" "Create NAME (valueless) and its intermediates."
-      Term.(const mkdir $ socket_arg $ name_arg 0);
+      Term.(const mkdir $ conn_arg $ name_arg 0);
     client_cmd "export" "Print the subtree at NAME."
-      Term.(const export $ socket_arg $ name_arg 0 $ depth_arg);
+      Term.(const export $ conn_arg $ name_arg 0 $ depth_arg);
     client_cmd "find" "List names matching a glob PATTERN (e.g. '/hosts/*/addr')."
       Term.(
-        const find $ socket_arg
+        const find $ conn_arg
         $ Arg.(
             required
             & pos 0 (some string) None
             & info [] ~docv:"PATTERN" ~doc:"Glob pattern."));
     client_cmd "cas" "Compare-and-set the value at NAME."
-      Term.(const cas $ socket_arg $ name_arg 0 $ expected_arg $ value_arg 1);
+      Term.(const cas $ conn_arg $ name_arg 0 $ expected_arg $ value_arg 1);
     client_cmd "checkpoint" "Ask the server to write a checkpoint."
-      Term.(const checkpoint $ socket_arg);
+      Term.(const checkpoint $ conn_arg);
     client_cmd "status" "Print server LSN, node count and digest."
-      Term.(const status $ socket_arg);
+      Term.(const status $ conn_arg);
     client_cmd "metrics" "Print the server's metrics registry (Prometheus text)."
-      Term.(const metrics $ socket_arg);
+      Term.(const metrics $ conn_arg);
   ]
 
 let () =

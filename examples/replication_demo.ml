@@ -53,6 +53,9 @@ let () =
   print_endline "== eager propagation ==";
   Replica.set_value a.replica (p "/svc/time") (Some "alpha:37");
   Replica.set_value a.replica (p "/svc/mail") (Some "beta:25");
+  (* Delivery is asynchronous (commits never wait on the network);
+     flush drains the outboxes before we inspect the peers. *)
+  ignore (Replica.flush a.replica);
   Printf.printf "beta sees /svc/time  = %s\n"
     (Option.value (Ns.lookup b.ns (p "/svc/time")) ~default:"<missing>");
   Printf.printf "gamma sees /svc/mail = %s\n"
@@ -65,6 +68,9 @@ let () =
   cut b;
   Replica.set_value a.replica (p "/svc/news") (Some "gamma:119");
   Replica.set_value a.replica (p "/svc/ftp") (Some "alpha:21");
+  (* flush returns false: beta's sender hit the dead link and parked
+     the peer for anti-entropy; gamma still drained. *)
+  Printf.printf "all peers drained: %b\n" (Replica.flush a.replica);
   show_peers "alpha" a.replica;
   Printf.printf "beta missed /svc/news: %b\n" (Ns.lookup b.ns (p "/svc/news") = None);
 
@@ -100,6 +106,8 @@ let () =
       (Replica.digest gamma2 = Replica.digest a.ns);
     Ns.close gamma2);
 
+  Replica.shutdown a.replica;
+  Replica.shutdown b.replica;
   cut a;
   cut b;
   print_endline "done"

@@ -144,6 +144,7 @@ module Make (App : APP) = struct
     mutable generation : int;
     mutable lsn : int;
     mutable committed : int;
+    mutable since_ckpt : int;  (* updates since the last checkpoint *)
     mutable ckpts : int;
     mutable closed : bool;
     mutable poisoned : bool;
@@ -184,6 +185,7 @@ module Make (App : APP) = struct
       generation;
       lsn;
       committed = 0;
+      since_ckpt = 0;
       ckpts = 0;
       closed = false;
       poisoned = false;
@@ -263,6 +265,18 @@ module Make (App : APP) = struct
             replay fs config ~log:prev.Store.log_file ~state ~lsn:meta.base_lsn
           with
           | Error e -> Error (Printf.sprintf "%s; previous log: %s" reason e)
+          | Ok (_, _, outcome)
+            when outcome.Wal.Reader.entries_beyond_damage > 0 ->
+            (* The fallback log deserves the same discipline as the
+               current one: valid committed entries beyond interior
+               damage must escalate, not silently truncate. *)
+            Error
+              (Printf.sprintf
+                 "%s; previous log %s: interior damage with %d committed \
+                  entries beyond it; use Skip_damaged recovery or restore \
+                  from a replica"
+                 reason prev.Store.log_file
+                 outcome.Wal.Reader.entries_beyond_damage)
           | Ok (state, lsn, _outcome) -> Ok (meta, state, lsn, true)))
       | _ -> Error reason
     in
@@ -307,6 +321,9 @@ module Make (App : APP) = struct
           }
         in
         let t = make fs config state wal gen.Store.version lsn recovery in
+        (* Replayed log entries are not covered by the checkpoint we
+           restored from: they count toward the next policy boundary. *)
+        t.since_ckpt <- entries_in_file;
         t.t_restore <- t1 -. t0;
         t.t_replay <- t2 -. t1;
         Metrics.incr m_recoveries;
@@ -338,7 +355,8 @@ module Make (App : APP) = struct
          ~new_version:next t.fs;
        t.wal <- wal;
        t.generation <- next;
-       t.ckpts <- t.ckpts + 1
+       t.ckpts <- t.ckpts + 1;
+       t.since_ckpt <- 0
      with e ->
        t.poisoned <- true;
        raise e);
@@ -437,7 +455,10 @@ module Make (App : APP) = struct
                Wal.Writer.close t.wal;
                t.wal <- wal';
                t.generation <- next;
-               t.ckpts <- t.ckpts + 1)
+               t.ckpts <- t.ckpts + 1;
+               (* The tail carried into the new log is not covered by
+                  the snapshot just written. *)
+               t.since_ckpt <- tail_count)
          with e ->
            t.poisoned <- true;
            raise e);
@@ -460,7 +481,9 @@ module Make (App : APP) = struct
   let due_for_checkpoint t =
     match t.config.policy with
     | Manual -> false
-    | Every_n_updates n -> n > 0 && t.committed mod n = 0
+    (* Count updates since the last checkpoint, not [committed mod n]:
+       a batch that jumps over the multiple must still trigger. *)
+    | Every_n_updates n -> n > 0 && t.since_ckpt >= n
     | Log_bytes_exceeds limit -> Wal.Writer.length t.wal > limit
 
   let maybe_auto_checkpoint t = if due_for_checkpoint t then checkpoint t
@@ -500,69 +523,97 @@ module Make (App : APP) = struct
 
   (* The paper's three steps under the paper's locks:
      update lock for verify + log write (enquiries keep running),
-     exclusive only for the memory mutation. *)
+     exclusive only for the memory mutation.
+
+     Every exit path must either release the lock or poison the engine
+     AND release — never leak.  The rule (documented in DESIGN.md):
+     a failure BEFORE the commit point (raising precondition, raising
+     pickler) releases and leaves the engine usable, because nothing
+     reached the disk; a failure AT or AFTER the commit point (log
+     append/fsync, [apply], checkpoint install) poisons, because memory
+     and disk may now disagree — but still releases, so blocked
+     threads wake up and observe [Poisoned] instead of deadlocking.
+     The [held] ref tracks the mode currently owned; the [Fun.protect]
+     finalizer releases whatever is still held on any exceptional
+     exit. *)
   let update_checked t ~precondition u =
     check_usable t;
     Vlock.acquire t.lock Vlock.Update;
-    let traced = Trace.active () in
-    let span_attrs = if traced then [ ("app", App.name) ] else [] in
+    let held = ref (Some Vlock.Update) in
+    let release mode =
+      held := None;
+      Vlock.release t.lock mode
+    in
     let verdict =
-      match
-        let t0 = now () in
-        let v = precondition t.state in
-        let dv = now () -. t0 in
-        t.t_verify <- t.t_verify +. dv;
-        Metrics.observe m_phase_verify dv;
-        if traced then
-          Trace.span "update.verify" ~attrs:span_attrs ~start_s:t0 ~dur_s:dv;
-        v
-      with
-      | Error e ->
-        Vlock.release t.lock Vlock.Update;
-        Error e
-      | Ok () ->
-        (let t0 = now () in
-         let payload = Pickle.encode App.codec_update u in
-         let t1 = now () in
-         (try ignore (Wal.Writer.append_sync t.wal payload)
-          with e ->
-            (* Unknown whether the entry reached the disk: memory and
-               disk may disagree after this, so refuse further use. *)
-            t.poisoned <- true;
-            Vlock.release t.lock Vlock.Update;
-            raise e);
-         let t2 = now () in
-         t.t_pickle <- t.t_pickle +. (t1 -. t0);
-         t.t_log <- t.t_log +. (t2 -. t1);
-         Metrics.observe m_phase_pickle (t1 -. t0);
-         Metrics.observe m_phase_log (t2 -. t1);
-         if traced then
-           (* One span covers pickle + append + fsync: the paper's
-              "write the log entry" step. *)
-           Trace.span "update.log"
-             ~attrs:(span_attrs @ [ ("bytes", string_of_int (String.length payload)) ])
-             ~start_s:t0 ~dur_s:(t2 -. t0));
-        (* Committed: switch to exclusive for the memory mutation. *)
-        Vlock.upgrade t.lock;
-        (try
-           let t0 = now () in
-           t.state <- App.apply t.state u;
-           let da = now () -. t0 in
-           t.t_apply <- t.t_apply +. da;
-           Metrics.observe m_phase_apply da;
-           if traced then
-             Trace.span "update.apply" ~attrs:span_attrs ~start_s:t0 ~dur_s:da
-         with e ->
-           t.poisoned <- true;
-           Vlock.release t.lock Vlock.Exclusive;
-           raise e);
-        t.lsn <- t.lsn + 1;
-        t.committed <- t.committed + 1;
-        Metrics.incr m_updates;
-        let lsn = t.lsn - 1 in
-        Vlock.release t.lock Vlock.Exclusive;
-        notify t lsn u;
-        Ok ()
+      Fun.protect
+        ~finally:(fun () ->
+          match !held with
+          | Some mode ->
+            held := None;
+            Vlock.release t.lock mode
+          | None -> ())
+        (fun () ->
+          let traced = Trace.active () in
+          let span_attrs = if traced then [ ("app", App.name) ] else [] in
+          let t0 = now () in
+          (* A raising precondition propagates; the finalizer releases
+             the Update lock and the engine stays usable. *)
+          let v = precondition t.state in
+          let dv = now () -. t0 in
+          t.t_verify <- t.t_verify +. dv;
+          Metrics.observe m_phase_verify dv;
+          if traced then
+            Trace.span "update.verify" ~attrs:span_attrs ~start_s:t0 ~dur_s:dv;
+          match v with
+          | Error e -> Error e
+          | Ok () ->
+            (let t0 = now () in
+             (* A raising pickler likewise: nothing is on disk yet. *)
+             let payload = Pickle.encode App.codec_update u in
+             let t1 = now () in
+             (try ignore (Wal.Writer.append_sync t.wal payload)
+              with e ->
+                (* Unknown whether the entry reached the disk: memory
+                   and disk may disagree after this, so refuse further
+                   use. *)
+                t.poisoned <- true;
+                raise e);
+             let t2 = now () in
+             t.t_pickle <- t.t_pickle +. (t1 -. t0);
+             t.t_log <- t.t_log +. (t2 -. t1);
+             Metrics.observe m_phase_pickle (t1 -. t0);
+             Metrics.observe m_phase_log (t2 -. t1);
+             if traced then
+               (* One span covers pickle + append + fsync: the paper's
+                  "write the log entry" step. *)
+               Trace.span "update.log"
+                 ~attrs:
+                   (span_attrs @ [ ("bytes", string_of_int (String.length payload)) ])
+                 ~start_s:t0 ~dur_s:(t2 -. t0));
+            (* Committed: switch to exclusive for the memory mutation. *)
+            Vlock.upgrade t.lock;
+            held := Some Vlock.Exclusive;
+            (try
+               let t0 = now () in
+               t.state <- App.apply t.state u;
+               let da = now () -. t0 in
+               t.t_apply <- t.t_apply +. da;
+               Metrics.observe m_phase_apply da;
+               if traced then
+                 Trace.span "update.apply" ~attrs:span_attrs ~start_s:t0 ~dur_s:da
+             with e ->
+               t.poisoned <- true;
+               raise e);
+            t.lsn <- t.lsn + 1;
+            t.committed <- t.committed + 1;
+            t.since_ckpt <- t.since_ckpt + 1;
+            Metrics.incr m_updates;
+            let lsn = t.lsn - 1 in
+            release Vlock.Exclusive;
+            (* A raising subscriber propagates to the updater with no
+               lock held; the update is already durable and applied. *)
+            notify t lsn u;
+            Ok ())
     in
     (match verdict with Ok () -> maybe_auto_checkpoint t | Error _ -> ());
     verdict
@@ -572,43 +623,56 @@ module Make (App : APP) = struct
     | Ok () -> ()
     | Error _ -> assert false (* precondition above cannot fail *)
 
+  (* Same lock discipline as [update_checked]: pickling failures
+     release (nothing committed), log/apply failures poison and
+     release. *)
   let update_batch t updates =
     check_usable t;
     if updates <> [] then begin
       Vlock.acquire t.lock Vlock.Update;
-      (let t0 = now () in
-       let payloads = List.map (Pickle.encode App.codec_update) updates in
-       let t1 = now () in
-       (try
-          List.iter (fun p -> ignore (Wal.Writer.append t.wal p)) payloads;
-          Wal.Writer.sync t.wal
-        with e ->
-          t.poisoned <- true;
-          Vlock.release t.lock Vlock.Update;
-          raise e);
-       let t2 = now () in
-       t.t_pickle <- t.t_pickle +. (t1 -. t0);
-       t.t_log <- t.t_log +. (t2 -. t1);
-       Metrics.observe m_phase_pickle (t1 -. t0);
-       Metrics.observe m_phase_log (t2 -. t1));
-      Vlock.upgrade t.lock;
-      (try
-         let t0 = now () in
-         List.iter (fun u -> t.state <- App.apply t.state u) updates;
-         let da = now () -. t0 in
-         t.t_apply <- t.t_apply +. da;
-         Metrics.observe m_phase_apply da
-       with e ->
-         t.poisoned <- true;
-         Vlock.release t.lock Vlock.Exclusive;
-         raise e);
-      let n = List.length updates in
-      Metrics.add m_updates n;
-      let base = t.lsn in
-      t.lsn <- t.lsn + n;
-      t.committed <- t.committed + n;
-      Vlock.release t.lock Vlock.Exclusive;
-      List.iteri (fun i u -> notify t (base + i) u) updates;
+      let held = ref (Some Vlock.Update) in
+      Fun.protect
+        ~finally:(fun () ->
+          match !held with
+          | Some mode ->
+            held := None;
+            Vlock.release t.lock mode
+          | None -> ())
+        (fun () ->
+          (let t0 = now () in
+           let payloads = List.map (Pickle.encode App.codec_update) updates in
+           let t1 = now () in
+           (try
+              List.iter (fun p -> ignore (Wal.Writer.append t.wal p)) payloads;
+              Wal.Writer.sync t.wal
+            with e ->
+              t.poisoned <- true;
+              raise e);
+           let t2 = now () in
+           t.t_pickle <- t.t_pickle +. (t1 -. t0);
+           t.t_log <- t.t_log +. (t2 -. t1);
+           Metrics.observe m_phase_pickle (t1 -. t0);
+           Metrics.observe m_phase_log (t2 -. t1));
+          Vlock.upgrade t.lock;
+          held := Some Vlock.Exclusive;
+          (try
+             let t0 = now () in
+             List.iter (fun u -> t.state <- App.apply t.state u) updates;
+             let da = now () -. t0 in
+             t.t_apply <- t.t_apply +. da;
+             Metrics.observe m_phase_apply da
+           with e ->
+             t.poisoned <- true;
+             raise e);
+          let n = List.length updates in
+          Metrics.add m_updates n;
+          let base = t.lsn in
+          t.lsn <- t.lsn + n;
+          t.committed <- t.committed + n;
+          t.since_ckpt <- t.since_ckpt + n;
+          held := None;
+          Vlock.release t.lock Vlock.Exclusive;
+          List.iteri (fun i u -> notify t (base + i) u) updates);
       maybe_auto_checkpoint t
     end
 

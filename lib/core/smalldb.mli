@@ -138,11 +138,23 @@ module Make (App : APP) : sig
     (unit, 'e) result
   (** The paper's three-step update: the precondition runs under the
       update lock before anything is logged; if it fails, the database
-      is untouched and no disk write happens. *)
+      is untouched and no disk write happens.
+
+      Exception safety (poison-vs-release, see DESIGN.md): a
+      [precondition] or pickler that {e raises} propagates with the
+      lock released and the engine untouched and usable — nothing
+      reached the disk.  A failure in the log append/fsync or in
+      [App.apply] also releases the lock but first poisons the engine
+      ({!Poisoned}), because memory and disk may now disagree.  A
+      raising subscriber propagates to the caller after the update is
+      already durable and applied, with no lock held. *)
 
   val update_batch : t -> App.update list -> unit
   (** Group commit: all entries appended, one fsync (§5's "multiple
-      commit records in a single log entry" optimisation). *)
+      commit records in a single log entry" optimisation).  Same
+      exception-safety contract as {!update_checked}: a raising pickler
+      releases and leaves the engine usable; a log or apply failure
+      poisons and releases. *)
 
   val checkpoint : t -> unit
   (** Write a checkpoint and reset the log.  Holds the update lock for

@@ -17,22 +17,48 @@ let m_full_transfers =
   Metrics.counter "sdb_replica_full_transfers_total"
     ~help:"Anti-entropy rounds that fell back to a full state transfer."
 
+let m_overflows =
+  Metrics.counter "sdb_replica_outbox_overflows_total"
+    ~help:"Commits dropped from a full outbox (peer deferred to anti-entropy)."
+
+(* The commit path must never do I/O: [on_commit] only appends to this
+   bounded per-peer outbox; a dedicated sender thread drains it.  A
+   peer that errors, times out, or overflows the outbox is marked
+   lagging and parked until {!anti_entropy} resynchronizes it. *)
 type peer = {
   p_id : string;
   mutable p_client : Proto.Client.t;
   mutable p_acked : int;  (* local LSNs below this are known applied *)
   mutable p_reachable : bool;
+  mutable p_lagging : bool;  (* eager pipeline suspended *)
   p_backlog : Metrics.gauge;  (* LSN delta to the local tip *)
+  p_depth : Metrics.gauge;  (* current outbox occupancy *)
+  p_queue : (int * Ns.update) Queue.t;
+  p_capacity : int;
+  p_mutex : Mutex.t;  (* guards every mutable peer field *)
+  p_cond : Condition.t;
+  mutable p_sending : bool;  (* sender has an RPC in flight *)
+  mutable p_stop : bool;
+  mutable p_thread : Thread.t option;
 }
 
-type peer_report = { peer_id : string; reachable : bool; backlog : int }
+type peer_report = {
+  peer_id : string;
+  reachable : bool;
+  lagging : bool;
+  backlog : int;
+  queued : int;
+}
 
 type t = {
   replica_id : string;
   ns : Ns.t;
+  peers_mutex : Mutex.t;
   mutable peer_list : peer list;
   mutable subscription : Ns.Db.subscription option;
 }
+
+let default_outbox_capacity = 256
 
 (* Forward one update through the peer's typed surface. *)
 let push_update client (u : Ns.update) =
@@ -42,39 +68,135 @@ let push_update client (u : Ns.update) =
   | Ns.Delete_subtree p -> Proto.Client.delete_subtree client p
   | Ns.Create p -> Proto.Client.create_name client p
 
+let local_lsn t = (Ns.stats t.ns).Smalldb.lsn
+
+(* Call with [p_mutex] held. *)
+let refresh_gauges_locked peer ~tip =
+  Metrics.set_gauge peer.p_backlog (float_of_int (max 0 (tip - peer.p_acked)));
+  Metrics.set_gauge peer.p_depth (float_of_int (Queue.length peer.p_queue))
+
+let all_peers t =
+  Mutex.lock t.peers_mutex;
+  let l = t.peer_list in
+  Mutex.unlock t.peers_mutex;
+  l
+
+(* ------------------------------------------------------------------ *)
+(* The sender thread                                                   *)
+
+let sender_loop t peer =
+  let rec loop () =
+    Mutex.lock peer.p_mutex;
+    while Queue.is_empty peer.p_queue && not peer.p_stop do
+      Condition.wait peer.p_cond peer.p_mutex
+    done;
+    if peer.p_stop then Mutex.unlock peer.p_mutex
+    else begin
+      (* Peek, don't pop: the in-flight entry must stay queued so the
+         contiguity arithmetic in [on_commit]
+         ([p_acked + Queue.length = next lsn]) keeps holding while the
+         RPC is outstanding.  It is popped only once acknowledged. *)
+      let lsn, u = Queue.peek peer.p_queue in
+      if lsn < peer.p_acked then begin
+        (* Anti-entropy outran the outbox; the peer already has it. *)
+        ignore (Queue.pop peer.p_queue);
+        Mutex.unlock peer.p_mutex;
+        loop ()
+      end
+      else if lsn > peer.p_acked || peer.p_lagging || not peer.p_reachable
+      then begin
+        (* Gap or suspended pipeline: anti-entropy owns the catch-up. *)
+        peer.p_lagging <- true;
+        Queue.clear peer.p_queue;
+        refresh_gauges_locked peer ~tip:(local_lsn t);
+        Condition.broadcast peer.p_cond;
+        Mutex.unlock peer.p_mutex;
+        loop ()
+      end
+      else begin
+        peer.p_sending <- true;
+        let client = peer.p_client in
+        Mutex.unlock peer.p_mutex;
+        let ok =
+          match push_update client u with
+          | () -> true
+          | exception Rpc.Rpc_error _ -> false
+        in
+        Mutex.lock peer.p_mutex;
+        peer.p_sending <- false;
+        if ok then begin
+          if peer.p_acked = lsn then peer.p_acked <- lsn + 1;
+          (* The front is still our entry unless an overflow cleared
+             the queue mid-flight. *)
+          (match Queue.peek_opt peer.p_queue with
+          | Some (l, _) when l = lsn -> ignore (Queue.pop peer.p_queue)
+          | _ -> ());
+          Metrics.incr m_pushes
+        end
+        else begin
+          peer.p_reachable <- false;
+          peer.p_lagging <- true;
+          Queue.clear peer.p_queue;
+          Metrics.incr m_push_failures
+        end;
+        refresh_gauges_locked peer ~tip:(local_lsn t);
+        Condition.broadcast peer.p_cond;
+        Mutex.unlock peer.p_mutex;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
 (* Eager propagation rides the engine's committed-update stream, so
    every update reaches the peers no matter which code path committed
-   it. *)
-let set_backlog peer ~tip =
-  Metrics.set_gauge peer.p_backlog (float_of_int (max 0 (tip - peer.p_acked)))
-
+   it.  This runs on the updater's thread with no engine lock held and
+   must stay O(1): enqueue or mark lagging, never touch the network. *)
 let on_commit t lsn u =
   List.iter
     (fun peer ->
-      (* Only peers already at the tip can take this update directly;
-         stragglers keep their ordered backlog for anti-entropy. *)
-      (if peer.p_reachable && peer.p_acked = lsn then
-         match push_update peer.p_client u with
-         | () ->
-           peer.p_acked <- lsn + 1;
-           Metrics.incr m_pushes
-         | exception Rpc.Rpc_error _ ->
-           peer.p_reachable <- false;
-           Metrics.incr m_push_failures);
-      set_backlog peer ~tip:(lsn + 1))
-    t.peer_list
+      Mutex.lock peer.p_mutex;
+      (if peer.p_reachable && not peer.p_lagging then begin
+         let expected = peer.p_acked + Queue.length peer.p_queue in
+         if expected = lsn then begin
+           if Queue.length peer.p_queue >= peer.p_capacity then begin
+             peer.p_lagging <- true;
+             Queue.clear peer.p_queue;
+             Metrics.incr m_overflows
+           end
+           else begin
+             Queue.push (lsn, u) peer.p_queue;
+             Condition.broadcast peer.p_cond
+           end
+         end
+         else if expected < lsn then
+           (* A racing commit notification slipped past; the eager
+              pipeline is no longer contiguous. *)
+           peer.p_lagging <- true
+         (* expected > lsn: stale duplicate notification; ignore. *)
+       end);
+      refresh_gauges_locked peer ~tip:(lsn + 1);
+      Mutex.unlock peer.p_mutex)
+    (all_peers t)
 
 let create ~id ns =
-  let t = { replica_id = id; ns; peer_list = []; subscription = None } in
+  let t =
+    {
+      replica_id = id;
+      ns;
+      peers_mutex = Mutex.create ();
+      peer_list = [];
+      subscription = None;
+    }
+  in
   t.subscription <- Some (Ns.Db.subscribe (Ns.db ns) (fun lsn u -> on_commit t lsn u));
   t
 
 let id t = t.replica_id
 let local t = t.ns
 
-let local_lsn t = (Ns.stats t.ns).Smalldb.lsn
-
-let add_peer ?acked_lsn t ~id client =
+let add_peer ?acked_lsn ?(outbox_capacity = default_outbox_capacity) t ~id client =
+  if outbox_capacity < 1 then invalid_arg "Replica.add_peer: outbox_capacity < 1";
   let acked = Option.value acked_lsn ~default:(local_lsn t) in
   let peer =
     {
@@ -82,71 +204,168 @@ let add_peer ?acked_lsn t ~id client =
       p_client = client;
       p_acked = acked;
       p_reachable = true;
+      p_lagging = false;
       p_backlog =
         Metrics.gauge "sdb_replica_backlog"
           ~help:"Updates the peer has not yet acknowledged (LSN delta)."
           ~labels:[ ("replica", t.replica_id); ("peer", id) ];
+      p_depth =
+        Metrics.gauge "sdb_replica_outbox_depth"
+          ~help:"Updates queued in the peer's outbox."
+          ~labels:[ ("replica", t.replica_id); ("peer", id) ];
+      p_queue = Queue.create ();
+      p_capacity = outbox_capacity;
+      p_mutex = Mutex.create ();
+      p_cond = Condition.create ();
+      p_sending = false;
+      p_stop = false;
+      p_thread = None;
     }
   in
-  set_backlog peer ~tip:(local_lsn t);
-  t.peer_list <- t.peer_list @ [ peer ]
+  refresh_gauges_locked peer ~tip:(local_lsn t);
+  peer.p_thread <- Some (Thread.create (fun () -> sender_loop t peer) ());
+  Mutex.lock t.peers_mutex;
+  t.peer_list <- t.peer_list @ [ peer ];
+  Mutex.unlock t.peers_mutex
 
 let reconnect t ~id client =
-  match List.find_opt (fun p -> String.equal p.p_id id) t.peer_list with
+  match List.find_opt (fun p -> String.equal p.p_id id) (all_peers t) with
   | None -> invalid_arg (Printf.sprintf "Replica.reconnect: unknown peer %S" id)
-  | Some p ->
-    p.p_client <- client;
-    p.p_reachable <- true
+  | Some peer ->
+    Mutex.lock peer.p_mutex;
+    peer.p_client <- client;
+    peer.p_reachable <- true;
+    (* Whatever the outbox held was meant for the dead connection;
+       anti-entropy (or the next contiguous commit) resumes delivery. *)
+    Queue.clear peer.p_queue;
+    refresh_gauges_locked peer ~tip:(local_lsn t);
+    Mutex.unlock peer.p_mutex
 
 let update t u = Ns.Db.update (Ns.db t.ns) u
-
 let set_value t path v = update t (Ns.Set_value (path, v))
 let delete_subtree t path = update t (Ns.Delete_subtree path)
 
-let full_transfer t peer =
-  let tree, lsn = Ns.snapshot_with_lsn t.ns in
-  Metrics.incr m_full_transfers;
-  (match Proto.Client.write_subtree peer.p_client [] tree with
-  | () ->
-    peer.p_acked <- lsn;
-    peer.p_reachable <- true
-  | exception Rpc.Rpc_error _ ->
-    peer.p_reachable <- false;
-    Metrics.incr m_push_failures);
-  set_backlog peer ~tip:(local_lsn t)
+(* ------------------------------------------------------------------ *)
+(* Anti-entropy                                                        *)
 
 let catch_up t peer =
-  let tip = local_lsn t in
-  if peer.p_acked < tip then begin
-    (match Ns.updates_since t.ns peer.p_acked with
-    | None -> full_transfer t peer
-    | Some entries -> (
-      try
-        List.iter
-          (fun (lsn, u) ->
-            push_update peer.p_client u;
-            peer.p_acked <- lsn + 1;
-            Metrics.incr m_pushes)
-          entries;
-        peer.p_reachable <- true
-      with Rpc.Rpc_error _ ->
-        peer.p_reachable <- false;
-        Metrics.incr m_push_failures));
-    set_backlog peer ~tip:(local_lsn t)
-  end
-  else begin
+  (* Park the eager sender and wait out any in-flight push, so the
+     catch-up RPCs cannot interleave with an eager push: out-of-order
+     delivery of two assignments to one path would revert it. *)
+  Mutex.lock peer.p_mutex;
+  peer.p_lagging <- true;
+  while peer.p_sending do
+    Condition.wait peer.p_cond peer.p_mutex
+  done;
+  Queue.clear peer.p_queue;
+  let client = peer.p_client in
+  let acked0 = peer.p_acked in
+  Mutex.unlock peer.p_mutex;
+  let outcome =
+    if acked0 >= local_lsn t then `Caught_up acked0
+    else
+      match Ns.updates_since t.ns acked0 with
+      | None -> (
+        (* The log no longer covers the peer's position: ship a full
+           snapshot. *)
+        let tree, lsn = Ns.snapshot_with_lsn t.ns in
+        Metrics.incr m_full_transfers;
+        match Proto.Client.write_subtree client [] tree with
+        | () -> `Caught_up lsn
+        | exception Rpc.Rpc_error _ -> `Failed acked0)
+      | Some entries -> (
+        let rec replay acked = function
+          | [] -> `Caught_up acked
+          | (lsn, u) :: rest -> (
+            match push_update client u with
+            | () ->
+              Metrics.incr m_pushes;
+              replay (lsn + 1) rest
+            | exception Rpc.Rpc_error _ -> `Failed acked)
+        in
+        replay acked0 entries)
+  in
+  Mutex.lock peer.p_mutex;
+  (match outcome with
+  | `Caught_up acked ->
+    peer.p_acked <- max peer.p_acked acked;
     peer.p_reachable <- true;
-    set_backlog peer ~tip
-  end
+    peer.p_lagging <- false
+  | `Failed acked ->
+    peer.p_acked <- max peer.p_acked acked;
+    peer.p_reachable <- false;
+    Metrics.incr m_push_failures);
+  refresh_gauges_locked peer ~tip:(local_lsn t);
+  Condition.broadcast peer.p_cond;
+  Mutex.unlock peer.p_mutex
 
-let anti_entropy t = List.iter (catch_up t) t.peer_list
+let anti_entropy t = List.iter (catch_up t) (all_peers t)
+
+(* ------------------------------------------------------------------ *)
+(* Introspection and lifecycle                                         *)
 
 let peers t =
   let tip = local_lsn t in
   List.map
     (fun p ->
-      { peer_id = p.p_id; reachable = p.p_reachable; backlog = max 0 (tip - p.p_acked) })
-    t.peer_list
+      Mutex.lock p.p_mutex;
+      let r =
+        {
+          peer_id = p.p_id;
+          reachable = p.p_reachable;
+          lagging = p.p_lagging;
+          backlog = max 0 (tip - p.p_acked);
+          queued = Queue.length p.p_queue;
+        }
+      in
+      Mutex.unlock p.p_mutex;
+      r)
+    (all_peers t)
+
+let flush ?(timeout_s = 5.0) t =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec wait_peer peer =
+    Mutex.lock peer.p_mutex;
+    let state =
+      if peer.p_lagging || not peer.p_reachable then `Parked
+      else if Queue.is_empty peer.p_queue && not peer.p_sending then `Drained
+      else `Busy
+    in
+    Mutex.unlock peer.p_mutex;
+    match state with
+    | `Drained -> true
+    | `Parked -> false
+    | `Busy ->
+      if Unix.gettimeofday () >= deadline then false
+      else begin
+        Thread.delay 0.001;
+        wait_peer peer
+      end
+  in
+  List.fold_left (fun acc peer -> wait_peer peer && acc) true (all_peers t)
+
+let shutdown t =
+  (match t.subscription with
+  | Some s -> Ns.Db.unsubscribe (Ns.db t.ns) s
+  | None -> ());
+  t.subscription <- None;
+  List.iter
+    (fun peer ->
+      Mutex.lock peer.p_mutex;
+      peer.p_stop <- true;
+      Condition.broadcast peer.p_cond;
+      Mutex.unlock peer.p_mutex;
+      (* Closing the client wakes a sender blocked in recv. *)
+      (try Proto.Client.close peer.p_client with Rpc.Rpc_error _ -> ());
+      match peer.p_thread with
+      | Some th ->
+        Thread.join th;
+        peer.p_thread <- None
+      | None -> ())
+    (all_peers t)
+
+(* ------------------------------------------------------------------ *)
+(* Digests and hard-error recovery                                     *)
 
 let digest ns =
   let tree, _lsn = Ns.snapshot_with_lsn ns in

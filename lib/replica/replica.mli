@@ -17,14 +17,26 @@
     different origins converge because the name-server update
     operations are idempotent last-writer assignments on disjoint or
     re-grafted subtrees.  (The richer reconciliation of Lampson's
-    global name service is out of this paper's scope.) *)
+    global name service is out of this paper's scope.)
+
+    {b Propagation never blocks the commit path.}  Committing an
+    update only appends it to a bounded per-peer outbox; a dedicated
+    sender thread per peer drains the outbox over RPC.  A peer whose
+    transport hangs, errors, or whose outbox overflows is marked
+    {e lagging}: eager delivery is suspended and the next
+    {!anti_entropy} resynchronizes it.  Local update latency is
+    therefore independent of peer health and of the RPC deadline. *)
 
 type t
 
 type peer_report = {
   peer_id : string;
   reachable : bool;
+  lagging : bool;
+      (** eager delivery suspended (failure, overflow, or a missed
+          commit); {!anti_entropy} will resynchronize *)
   backlog : int;  (** local updates not yet acknowledged by this peer *)
+  queued : int;  (** updates currently waiting in the peer's outbox *)
 }
 
 val create : id:string -> Sdb_nameserver.Nameserver.t -> t
@@ -36,30 +48,50 @@ val create : id:string -> Sdb_nameserver.Nameserver.t -> t
 val id : t -> string
 val local : t -> Sdb_nameserver.Nameserver.t
 
-val add_peer : ?acked_lsn:int -> t -> id:string -> Sdb_rpc.Ns_protocol.Client.t -> unit
-(** Register a peer.  [acked_lsn] is the local LSN the peer is already
-    known to have (default: the current tip, i.e. the peer is up to
-    date).  Pass [~acked_lsn:0] for an empty peer that must be seeded
-    by the next {!anti_entropy}. *)
+val add_peer :
+  ?acked_lsn:int -> ?outbox_capacity:int ->
+  t -> id:string -> Sdb_rpc.Ns_protocol.Client.t -> unit
+(** Register a peer and start its sender thread.  [acked_lsn] is the
+    local LSN the peer is already known to have (default: the current
+    tip, i.e. the peer is up to date); pass [~acked_lsn:0] for an
+    empty peer that must be seeded by the next {!anti_entropy}.
+    [outbox_capacity] (default 256) bounds the eager-push queue; when
+    it fills, the peer is marked lagging and deferred to anti-entropy
+    instead of stalling or growing without bound.  Give the client a
+    recv deadline ({!Sdb_rpc.Rpc.Client.create}) so a hung peer
+    releases its sender thread. *)
 
 val reconnect : t -> id:string -> Sdb_rpc.Ns_protocol.Client.t -> unit
 (** Replace a known peer's (failed) connection, keeping its
-    acknowledged position, and mark it reachable again. *)
+    acknowledged position, and mark it reachable again.  The stale
+    outbox is discarded; run {!anti_entropy} to catch the peer up. *)
 
 val update : t -> Sdb_nameserver.Nameserver.update -> unit
-(** Commit locally (one log write); the subscription then pushes to
-    every reachable, up-to-date peer.  Push failures mark the peer
-    unreachable; the update is never lost locally. *)
+(** Commit locally (one log write); the subscription then enqueues the
+    update for every reachable, up-to-date peer.  Never blocks on the
+    network; the update is never lost locally. *)
 
 val set_value : t -> Sdb_nameserver.Name_path.t -> string option -> unit
 val delete_subtree : t -> Sdb_nameserver.Name_path.t -> unit
 
 val anti_entropy : t -> unit
 (** Catch every peer up: replay the log suffix it is missing, or ship
-    a full snapshot when the log no longer covers it.  Marks peers
-    reachable again on success. *)
+    a full snapshot when the log no longer covers it.  Clears the
+    lagging state and marks peers reachable again on success.  Runs on
+    the calling thread; eager delivery to a peer is paused (and any
+    in-flight push completes first) while that peer is caught up. *)
+
+val flush : ?timeout_s:float -> t -> bool
+(** Wait until every peer's outbox has drained (default timeout 5 s).
+    Returns [false] if some peer is lagging/unreachable (its outbox
+    will not drain until {!anti_entropy}) or the timeout expired. *)
 
 val peers : t -> peer_report list
+
+val shutdown : t -> unit
+(** Unsubscribe from the commit stream, stop and join every sender
+    thread (closing peer clients to release any blocked receive).
+    The replica must not be used afterwards. *)
 
 val converged_with : t -> Sdb_rpc.Ns_protocol.Client.t -> bool
 (** Digest comparison with a peer — the long-term consistency check. *)

@@ -58,38 +58,57 @@ let serve ns transport = Rpc.Server.serve ~handlers:(handlers ns) transport
 module Client = struct
   type t = Rpc.Client.t
 
-  let create = Rpc.Client.create
+  let create ?deadline_s ?retry ?reconnect transport =
+    Rpc.Client.create ?deadline_s ?retry ?reconnect transport
+
   let close = Rpc.Client.close
   let calls = Rpc.Client.calls
+  let broken = Rpc.Client.broken
   let call = Rpc.Client.call
 
-  let lookup t p = call t ~meth:"lookup" codec_path codec_value p
-  let exists t p = call t ~meth:"exists" codec_path P.bool p
+  (* Enquiries are read-only and the update procedures below are
+     last-writer-wins assignments (the property §4 replication already
+     relies on), so all of them are safe to re-send after a transport
+     failure.  Only [cas] is genuinely non-idempotent. *)
+  let lookup t p = call ~idempotent:true t ~meth:"lookup" codec_path codec_value p
+  let exists t p = call ~idempotent:true t ~meth:"exists" codec_path P.bool p
 
   let list_children t p =
-    call t ~meth:"list_children" codec_path (P.option (P.list P.string)) p
+    call ~idempotent:true t ~meth:"list_children" codec_path
+      (P.option (P.list P.string))
+      p
 
   let export ?depth t p =
-    call t ~meth:"export"
+    call ~idempotent:true t ~meth:"export"
       (P.pair codec_path (P.option P.int))
       (P.option codec_tree) (p, depth)
 
-  let count_nodes t = call t ~meth:"count_nodes" P.unit P.int ()
+  let count_nodes t = call ~idempotent:true t ~meth:"count_nodes" P.unit P.int ()
 
   let enumerate t p =
-    call t ~meth:"enumerate" codec_path (P.list (P.pair codec_path codec_value)) p
+    call ~idempotent:true t ~meth:"enumerate" codec_path
+      (P.list (P.pair codec_path codec_value))
+      p
 
   let find t pattern =
-    call t ~meth:"find" P.string
+    call ~idempotent:true t ~meth:"find" P.string
       (P.result (P.list (P.pair codec_path codec_value)) P.string)
       pattern
-  let set_value t p v = call t ~meth:"set_value" (P.pair codec_path codec_value) P.unit (p, v)
+
+  let set_value t p v =
+    call ~idempotent:true t ~meth:"set_value"
+      (P.pair codec_path codec_value)
+      P.unit (p, v)
 
   let write_subtree t p tree =
-    call t ~meth:"write_subtree" (P.pair codec_path codec_tree) P.unit (p, tree)
+    call ~idempotent:true t ~meth:"write_subtree"
+      (P.pair codec_path codec_tree)
+      P.unit (p, tree)
 
-  let delete_subtree t p = call t ~meth:"delete_subtree" codec_path P.unit p
-  let create_name t p = call t ~meth:"create" codec_path P.unit p
+  let delete_subtree t p =
+    call ~idempotent:true t ~meth:"delete_subtree" codec_path P.unit p
+
+  let create_name t p = call ~idempotent:true t ~meth:"create" codec_path P.unit p
 
   let compare_and_set t p ~expected v =
     call t ~meth:"cas"
@@ -97,15 +116,17 @@ module Client = struct
       (P.result P.unit P.string)
       (p, expected, v)
 
-  let lsn t = call t ~meth:"lsn" P.unit P.int ()
-  let snapshot t = call t ~meth:"snapshot" P.unit (P.pair codec_tree P.int) ()
+  let lsn t = call ~idempotent:true t ~meth:"lsn" P.unit P.int ()
+
+  let snapshot t =
+    call ~idempotent:true t ~meth:"snapshot" P.unit (P.pair codec_tree P.int) ()
 
   let updates_since t from =
-    call t ~meth:"updates_since" P.int
+    call ~idempotent:true t ~meth:"updates_since" P.int
       (P.option (P.list (P.pair P.int codec_update)))
       from
 
   let checkpoint t = call t ~meth:"checkpoint" P.unit P.unit ()
-  let digest t = call t ~meth:"digest" P.unit P.string ()
-  let metrics t = call t ~meth:"metrics" P.unit P.string ()
+  let digest t = call ~idempotent:true t ~meth:"digest" P.unit P.string ()
+  let metrics t = call ~idempotent:true t ~meth:"metrics" P.unit P.string ()
 end

@@ -15,9 +15,21 @@ val serve : Sdb_nameserver.Nameserver.t -> Rpc.Transport.t -> unit
 module Client : sig
   type t
 
-  val create : Rpc.Transport.t -> t
+  val create :
+    ?deadline_s:float ->
+    ?retry:Rpc.retry_policy ->
+    ?reconnect:(unit -> Rpc.Transport.t) ->
+    Rpc.Transport.t -> t
+  (** See {!Rpc.Client.create}.  Every procedure except [cas] and
+      [checkpoint] is idempotent (enquiries are read-only; updates are
+      last-writer-wins assignments) and is re-attempted under [retry]
+      after a transport failure when [reconnect] is available. *)
+
   val close : t -> unit
   val calls : t -> int
+
+  val broken : t -> bool
+  (** See {!Rpc.Client.broken}. *)
 
   (** Enquiries (each one round trip). *)
 

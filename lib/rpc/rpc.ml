@@ -34,11 +34,14 @@ module Transport = struct
     send : string -> unit;
     recv : unit -> string;
     close : unit -> unit;
+    set_recv_timeout : float option -> unit;
   }
 
   let trips = Atomic.make 0
   let round_trips () = Atomic.get trips
   let count_trip () = ignore (Atomic.fetch_and_add trips 1)
+
+  let deadline_exceeded = "recv deadline exceeded"
 end
 
 module Bqueue = struct
@@ -61,22 +64,50 @@ module Bqueue = struct
     Condition.signal t.c;
     Mutex.unlock t.m
 
-  let pop t =
-    Mutex.lock t.m;
-    let rec wait () =
-      if not (Queue.is_empty t.q) then Queue.pop t.q
-      else if t.closed then begin
-        Mutex.unlock t.m;
-        err "transport closed"
-      end
-      else begin
-        Condition.wait t.c t.m;
-        wait ()
-      end
-    in
-    let v = wait () in
-    Mutex.unlock t.m;
-    v
+  let pop ?timeout_s t =
+    match timeout_s with
+    | None ->
+      Mutex.lock t.m;
+      let rec wait () =
+        if not (Queue.is_empty t.q) then Queue.pop t.q
+        else if t.closed then begin
+          Mutex.unlock t.m;
+          err "transport closed"
+        end
+        else begin
+          Condition.wait t.c t.m;
+          wait ()
+        end
+      in
+      let v = wait () in
+      Mutex.unlock t.m;
+      v
+    | Some dt ->
+      (* OCaml's [Condition] has no timed wait; a fine-grained poll is
+         adequate for the in-process transport's deadline support. *)
+      let deadline = Unix.gettimeofday () +. dt in
+      let rec wait () =
+        Mutex.lock t.m;
+        if not (Queue.is_empty t.q) then begin
+          let v = Queue.pop t.q in
+          Mutex.unlock t.m;
+          v
+        end
+        else if t.closed then begin
+          Mutex.unlock t.m;
+          err "transport closed"
+        end
+        else begin
+          Mutex.unlock t.m;
+          if Unix.gettimeofday () >= deadline then
+            err "%s" Transport.deadline_exceeded
+          else begin
+            Thread.delay 0.0005;
+            wait ()
+          end
+        end
+      in
+      wait ()
 
   let close t =
     Mutex.lock t.m;
@@ -89,17 +120,19 @@ module Inproc = struct
   let pair ?(delay_s = 0.0) () =
     let a_to_b = Bqueue.create () and b_to_a = Bqueue.create () in
     let mk descr out inp =
+      let timeout = ref None in
       {
         Transport.descr;
         send =
           (fun msg ->
             if delay_s > 0.0 then Thread.delay delay_s;
             Bqueue.push out msg);
-        recv = (fun () -> Bqueue.pop inp);
+        recv = (fun () -> Bqueue.pop ?timeout_s:!timeout inp);
         close =
           (fun () ->
             Bqueue.close out;
             Bqueue.close inp);
+        set_recv_timeout = (fun v -> timeout := v);
       }
     in
     (mk "inproc:client" a_to_b b_to_a, mk "inproc:server" b_to_a a_to_b)
@@ -121,6 +154,10 @@ module Socket = struct
         match Unix.read fd buf got (n - got) with
         | 0 -> err "connection closed"
         | k -> go (got + k)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          (* SO_RCVTIMEO expired with no (complete) data. *)
+          err "%s" Transport.deadline_exceeded
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go got
         | exception Unix.Unix_error (e, _, _) ->
           err "socket read: %s" (Unix.error_message e)
     in
@@ -162,6 +199,14 @@ module Socket = struct
             closed := true;
             try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
           end);
+      set_recv_timeout =
+        (fun v ->
+          if not !closed then
+            try
+              Unix.setsockopt_float fd Unix.SO_RCVTIMEO
+                (match v with Some s when s > 0.0 -> s | _ -> 0.0)
+            with Unix.Unix_error (e, _, _) ->
+              err "socket set timeout: %s" (Unix.error_message e));
     }
 
   let listen ~path serve_conn =
@@ -290,40 +335,156 @@ end
 (* ------------------------------------------------------------------ *)
 (* Client                                                              *)
 
+type retry_policy = {
+  max_attempts : int;
+  initial_backoff_s : float;
+  backoff_multiplier : float;
+  max_backoff_s : float;
+}
+
+let no_retry =
+  {
+    max_attempts = 1;
+    initial_backoff_s = 0.0;
+    backoff_multiplier = 1.0;
+    max_backoff_s = 0.0;
+  }
+
+let default_retry =
+  {
+    max_attempts = 3;
+    initial_backoff_s = 0.02;
+    backoff_multiplier = 2.0;
+    max_backoff_s = 1.0;
+  }
+
 module Client = struct
+  let m_broken =
+    Metrics.counter "sdb_rpc_clients_broken_total"
+      ~help:"Clients poisoned by a transport failure or response desync."
+
+  let m_retries =
+    Metrics.counter "sdb_rpc_client_retries_total"
+      ~help:"Idempotent calls re-attempted after a transport failure."
+
+  let m_reconnects =
+    Metrics.counter "sdb_rpc_client_reconnects_total"
+      ~help:"Fresh transports established for a broken client."
+
   type t = {
-    transport : Transport.t;
+    mutable transport : Transport.t;
+    deadline_s : float option;
+    retry : retry_policy;
+    reconnect : (unit -> Transport.t) option;
     mutex : Mutex.t;
     mutable next_id : int;
     mutable n_calls : int;
+    mutable is_broken : bool;
+    mutable closed : bool;
   }
 
-  let create transport = { transport; mutex = Mutex.create (); next_id = 0; n_calls = 0 }
+  let create ?deadline_s ?(retry = no_retry) ?reconnect transport =
+    if retry.max_attempts < 1 then
+      invalid_arg "Rpc.Client.create: retry.max_attempts must be >= 1";
+    transport.Transport.set_recv_timeout deadline_s;
+    {
+      transport;
+      deadline_s;
+      retry;
+      reconnect;
+      mutex = Mutex.create ();
+      next_id = 0;
+      n_calls = 0;
+      is_broken = false;
+      closed = false;
+    }
 
-  let call t ~meth arg_codec ret_codec a =
+  (* Poison the client: after any transport error — a send failure, a
+     recv failure or timeout, or a response whose id does not match —
+     the connection may still carry a stale in-flight response, so no
+     later call may reuse it.  The transport is closed; only a fresh
+     one (via [reconnect]) can revive the client. *)
+  let break_ t =
+    if not t.is_broken then begin
+      t.is_broken <- true;
+      Metrics.incr m_broken;
+      try t.transport.Transport.close () with Rpc_error _ -> ()
+    end
+
+  let ensure_connected t =
+    if t.closed then err "client closed";
+    if t.is_broken then
+      match t.reconnect with
+      | None -> err "client poisoned by an earlier transport failure"
+      | Some fresh ->
+        let transport = fresh () in
+        transport.Transport.set_recv_timeout t.deadline_s;
+        t.transport <- transport;
+        t.is_broken <- false;
+        Metrics.incr m_reconnects
+
+  let attempt t ~meth arg_codec ret_codec a =
+    ensure_connected t;
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    let req = { req_id = id; meth; args = P.encode arg_codec a } in
+    (try t.transport.Transport.send (P.encode codec_request req)
+     with e ->
+       break_ t;
+       raise e);
+    let resp_msg =
+      try t.transport.Transport.recv ()
+      with e ->
+        break_ t;
+        raise e
+    in
+    t.n_calls <- t.n_calls + 1;
+    Transport.count_trip ();
+    match P.decode_result codec_response resp_msg with
+    | Error m ->
+      break_ t;
+      err "undecodable response: %s" m
+    | Ok resp ->
+      if resp.resp_id <> id then begin
+        break_ t;
+        err "response id %d does not match request id %d (client poisoned)"
+          resp.resp_id id
+      end;
+      (match resp.payload with
+      | Error m -> err "server: %s" m
+      | Ok bytes -> (
+        match P.decode_result ret_codec bytes with
+        | Error m -> err "undecodable result: %s" m
+        | Ok v -> v))
+
+  (* Retries are confined to transport-level failures (the client is
+     broken afterwards) of calls declared idempotent; a server-side
+     error returns at once, and a non-idempotent call is never
+     re-sent — the first attempt may have executed. *)
+  let call ?(idempotent = false) t ~meth arg_codec ret_codec a =
     Mutex.lock t.mutex;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.mutex)
       (fun () ->
-        let id = t.next_id in
-        t.next_id <- id + 1;
-        let req = { req_id = id; meth; args = P.encode arg_codec a } in
-        t.transport.Transport.send (P.encode codec_request req);
-        let resp_msg = t.transport.Transport.recv () in
-        t.n_calls <- t.n_calls + 1;
-        Transport.count_trip ();
-        match P.decode_result codec_response resp_msg with
-        | Error m -> err "undecodable response: %s" m
-        | Ok resp ->
-          if resp.resp_id <> id then
-            err "response id %d does not match request id %d" resp.resp_id id;
-          (match resp.payload with
-          | Error m -> err "server: %s" m
-          | Ok bytes -> (
-            match P.decode_result ret_codec bytes with
-            | Error m -> err "undecodable result: %s" m
-            | Ok v -> v)))
+        let attempts = if idempotent then t.retry.max_attempts else 1 in
+        let rec go n backoff =
+          match attempt t ~meth arg_codec ret_codec a with
+          | v -> v
+          | exception Rpc_error _ when t.is_broken && n < attempts
+                                       && t.reconnect <> None ->
+            Metrics.incr m_retries;
+            if backoff > 0.0 then Thread.delay backoff;
+            go (n + 1)
+              (min
+                 (backoff *. t.retry.backoff_multiplier)
+                 t.retry.max_backoff_s)
+        in
+        go 1 t.retry.initial_backoff_s)
 
   let calls t = t.n_calls
-  let close t = t.transport.Transport.close ()
+  let broken t = t.is_broken
+
+  let close t =
+    t.closed <- true;
+    t.transport.Transport.close ()
 end

@@ -22,10 +22,17 @@ module Transport : sig
     send : string -> unit;  (** one complete message *)
     recv : unit -> string;  (** blocks; raises {!Rpc_error} when closed *)
     close : unit -> unit;
+    set_recv_timeout : float option -> unit;
+        (** bound every subsequent [recv] to this many seconds ([None]
+            = block forever); an expired deadline raises {!Rpc_error}
+            with {!deadline_exceeded} as the message *)
   }
 
   val round_trips : unit -> int
   (** Global count of completed calls (any client), for cost modelling. *)
+
+  val deadline_exceeded : string
+  (** The exact {!Rpc_error} message raised by a timed-out [recv]. *)
 end
 
 module Inproc : sig
@@ -60,15 +67,55 @@ module Server : sig
       arrival order. *)
 end
 
+type retry_policy = {
+  max_attempts : int;  (** total attempts, including the first (>= 1) *)
+  initial_backoff_s : float;
+  backoff_multiplier : float;
+  max_backoff_s : float;
+}
+(** Exponential backoff between re-attempts of idempotent calls. *)
+
+val no_retry : retry_policy
+(** A single attempt (the default). *)
+
+val default_retry : retry_policy
+(** 3 attempts, 20 ms initial backoff, doubling, capped at 1 s. *)
+
 module Client : sig
   type t
 
-  val create : Transport.t -> t
+  val create :
+    ?deadline_s:float ->
+    ?retry:retry_policy ->
+    ?reconnect:(unit -> Transport.t) ->
+    Transport.t -> t
+  (** [deadline_s] bounds every call's wait for a response; an expired
+      deadline raises {!Rpc_error} and {e poisons} the client (see
+      {!broken}).  [retry] governs re-attempts of calls made with
+      [~idempotent:true].  [reconnect] supplies a fresh transport when
+      the previous one is poisoned — without it a broken client fails
+      every subsequent call. *)
 
   val call :
+    ?idempotent:bool ->
     t -> meth:string -> 'a Sdb_pickle.Pickle.t -> 'b Sdb_pickle.Pickle.t -> 'a -> 'b
-  (** One round trip.  Raises {!Rpc_error} on any failure. *)
+  (** One round trip.  Raises {!Rpc_error} on any failure.
+
+      Any transport-level failure (send error, recv error or deadline,
+      undecodable or mismatched response) poisons the client: the
+      connection may still carry a stale in-flight response, so it is
+      closed and never reused.  A call declared [~idempotent:true]
+      (default false) is re-attempted over a fresh transport, with
+      exponential backoff, up to [retry.max_attempts] times — but only
+      when [reconnect] was provided and only after transport-level
+      failures; server-side errors are returned at once and
+      non-idempotent calls are never re-sent. *)
 
   val calls : t -> int
+
+  val broken : t -> bool
+  (** True after a transport failure or response-id desync; every later
+      call either reconnects (when [reconnect] was given) or raises. *)
+
   val close : t -> unit
 end

@@ -104,6 +104,8 @@ module Writer = struct
     check t;
     if count < 0 then invalid_arg "Wal.Writer.append_raw_frames: negative count";
     t.w.Fs.w_write raw;
+    Metrics.add m_appends count;
+    Metrics.add m_appended_bytes (String.length raw);
     t.length <- t.length + String.length raw;
     t.entries <- t.entries + count
 

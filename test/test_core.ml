@@ -170,6 +170,96 @@ let test_apply_failure_poisons () =
   | _ -> Alcotest.fail "query should be poisoned too"
   | exception Smalldb.Poisoned -> ()
 
+let test_raising_precondition_releases_lock () =
+  (* A precondition that raises (rather than returning [Error]) must
+     release the update lock: the engine stays usable and the next
+     update does not deadlock on a leaked lock. *)
+  let _, fs, db = mem_db () in
+  let before = Fs.Counters.copy fs.Fs.counters in
+  (match
+     KVDb.update_checked db
+       ~precondition:(fun _ -> failwith "precondition exploded")
+       (KV.Set ("x", "1"))
+   with
+  | _ -> Alcotest.fail "expected the precondition's exception"
+  | exception Failure m -> check Alcotest.string "same exception" "precondition exploded" m);
+  (* Nothing committed, nothing poisoned. *)
+  let d = Fs.Counters.diff ~after:fs.Fs.counters ~before in
+  check Alcotest.int "no disk writes" 0 d.Fs.Counters.data_writes;
+  check Alcotest.(option string) "memory untouched" None (get db "x");
+  (* Both lock modes must still be acquirable. *)
+  set db "x" "2";
+  check Alcotest.(option string) "engine still usable" (Some "2") (get db "x");
+  check Alcotest.int "lsn counts only the good update" 1 (KVDb.stats db).Smalldb.lsn
+
+(* A KV app whose pickler detonates on a chosen key — for proving that
+   an encoding failure releases the lock without poisoning (nothing
+   reached the disk). *)
+module Fragile = struct
+  type state = (string, string) Hashtbl.t
+  type update = string * string
+
+  let name = "fragile-kv"
+  let codec_state = P.hashtbl P.string P.string
+
+  let codec_update =
+    P.conv ~name:"fragile.update"
+      (fun (k, v) -> if String.equal k "boom" then failwith "pickler exploded" else (k, v))
+      Fun.id
+      (P.pair P.string P.string)
+
+  let init () = Hashtbl.create 16
+
+  let apply st (k, v) =
+    Hashtbl.replace st k v;
+    st
+end
+
+module FragileDb = Smalldb.Make (Fragile)
+
+let test_raising_pickler_releases_lock () =
+  let store = Mem.create_store () in
+  let db = FragileDb.open_exn (Mem.fs store) in
+  FragileDb.update db ("a", "1");
+  (match FragileDb.update db ("boom", "x") with
+  | () -> Alcotest.fail "expected the pickler's exception"
+  | exception Failure _ -> ());
+  (* Unlike an append or apply failure, nothing was committed: the
+     engine is NOT poisoned and keeps working. *)
+  FragileDb.update db ("b", "2");
+  check Alcotest.(option string) "still usable"
+    (Some "2")
+    (FragileDb.query db (fun st -> Hashtbl.find_opt st "b"));
+  check Alcotest.int "only the good updates committed" 2
+    (FragileDb.stats db).Smalldb.lsn
+
+let test_raising_pickler_in_batch () =
+  let store = Mem.create_store () in
+  let db = FragileDb.open_exn (Mem.fs store) in
+  (match FragileDb.update_batch db [ ("a", "1"); ("boom", "x"); ("c", "3") ] with
+  | () -> Alcotest.fail "expected the pickler's exception"
+  | exception Failure _ -> ());
+  check Alcotest.int "nothing committed" 0 (FragileDb.stats db).Smalldb.lsn;
+  FragileDb.update_batch db [ ("a", "1"); ("c", "3") ];
+  check Alcotest.(option string) "still usable"
+    (Some "3")
+    (FragileDb.query db (fun st -> Hashtbl.find_opt st "c"))
+
+let test_raising_subscriber_after_commit () =
+  (* A subscriber that raises propagates to the updater — but only
+     after the commit point, with no lock held: the update is durable,
+     applied, and the engine keeps working. *)
+  let _, _, db = mem_db () in
+  let sub = KVDb.subscribe db (fun _lsn _u -> failwith "subscriber exploded") in
+  (match set db "x" "1" with
+  | () -> Alcotest.fail "expected the subscriber's exception"
+  | exception Failure _ -> ());
+  KVDb.unsubscribe db sub;
+  check Alcotest.(option string) "update was applied" (Some "1") (get db "x");
+  check Alcotest.int "and committed" 1 (KVDb.stats db).Smalldb.lsn;
+  set db "y" "2";
+  check Alcotest.(option string) "engine still usable" (Some "2") (get db "y")
+
 (* ------------------------------------------------------------------ *)
 (* Checkpoint policies                                                  *)
 
@@ -183,6 +273,26 @@ let test_policy_every_n () =
   check Alcotest.int "three checkpoints" 3 s.Smalldb.checkpoints_written;
   check Alcotest.int "generation" 3 s.Smalldb.generation;
   check Alcotest.int "log empty after auto-checkpoint" 0 s.Smalldb.log_entries
+
+let test_policy_every_n_batch_crossing () =
+  (* A batch that jumps over the policy's multiple must still trigger
+     the checkpoint: the policy counts updates since the last
+     checkpoint, not [committed mod n]. *)
+  let config = { Smalldb.default_config with policy = Smalldb.Every_n_updates 5 } in
+  let _, _, db = mem_db ~config () in
+  KVDb.update_batch db (List.init 7 sequenced_update);
+  let s = KVDb.stats db in
+  check Alcotest.int "batch crossing the boundary checkpoints" 1
+    s.Smalldb.checkpoints_written;
+  check Alcotest.int "log reset" 0 s.Smalldb.log_entries;
+  (* The counter restarts from the checkpoint: five more singles fire
+     exactly one more. *)
+  for i = 7 to 11 do
+    KVDb.update db (sequenced_update i)
+  done;
+  check Alcotest.int "counter reset at the checkpoint" 2
+    (KVDb.stats db).Smalldb.checkpoints_written;
+  check Alcotest.int "nothing lost" 12 (sequenced_prefix db)
 
 let test_policy_log_bytes () =
   let config =
@@ -823,10 +933,20 @@ let () =
           Alcotest.test_case "one write one sync" `Quick test_update_is_one_write_one_sync;
           Alcotest.test_case "batch single sync" `Quick test_batch_single_sync;
           Alcotest.test_case "apply failure poisons" `Quick test_apply_failure_poisons;
+          Alcotest.test_case "raising precondition releases lock" `Quick
+            test_raising_precondition_releases_lock;
+          Alcotest.test_case "raising pickler releases lock" `Quick
+            test_raising_pickler_releases_lock;
+          Alcotest.test_case "raising pickler in batch" `Quick
+            test_raising_pickler_in_batch;
+          Alcotest.test_case "raising subscriber after commit" `Quick
+            test_raising_subscriber_after_commit;
         ] );
       ( "policies",
         [
           Alcotest.test_case "every n updates" `Quick test_policy_every_n;
+          Alcotest.test_case "batch crosses the boundary" `Quick
+            test_policy_every_n_batch_crossing;
           Alcotest.test_case "log bytes threshold" `Quick test_policy_log_bytes;
           Alcotest.test_case "manual never auto" `Quick test_manual_policy_never_auto;
         ] );

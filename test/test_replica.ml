@@ -40,18 +40,25 @@ let connect ?(how = `Add) a b =
   | `Reconnect -> Replica.reconnect a.replica ~id:(Replica.id b.replica) client);
   client
 
+(* Kill [cell]'s server side only — the partition move mid-test. *)
 let shutdown cell =
   List.iter (fun t -> t.Rpc.Transport.close ()) cell.server_transports;
   List.iter Thread.join cell.server_threads;
   cell.server_threads <- [];
   cell.server_transports <- []
 
+(* Full teardown: stop the replica's sender threads, then the servers. *)
+let teardown cell =
+  Replica.shutdown cell.replica;
+  shutdown cell
+
 let test_eager_propagation () =
   let a = make_cell "a" 1 and b = make_cell "b" 2 in
   ignore (connect a b);
   Replica.set_value a.replica (p "/users/adb") (Some "birrell");
   Replica.set_value a.replica (p "/users/mbj") (Some "jones");
-  (* The peer saw both updates synchronously. *)
+  (* Propagation is asynchronous: wait for the outbox to drain. *)
+  check Alcotest.bool "flushed" true (Replica.flush a.replica);
   check Alcotest.(option string) "replicated" (Some "birrell")
     (Ns.lookup b.ns (p "/users/adb"));
   check Alcotest.(option string) "replicated 2" (Some "jones")
@@ -59,23 +66,29 @@ let test_eager_propagation () =
   (match Replica.peers a.replica with
   | [ r ] ->
     check Alcotest.bool "reachable" true r.Replica.reachable;
-    check Alcotest.int "no backlog" 0 r.Replica.backlog
+    check Alcotest.int "no backlog" 0 r.Replica.backlog;
+    check Alcotest.int "outbox drained" 0 r.Replica.queued
   | _ -> Alcotest.fail "one peer expected");
   check Alcotest.string "digests equal" (Replica.digest a.ns) (Replica.digest b.ns);
-  shutdown a;
-  shutdown b
+  teardown a;
+  teardown b
 
 let test_unreachable_peer_and_anti_entropy () =
   let a = make_cell "a" 3 and b = make_cell "b" 4 in
   let _client = connect a b in
   Replica.set_value a.replica (p "/x") (Some "1");
+  check Alcotest.bool "delivered before partition" true (Replica.flush a.replica);
   (* Partition: b's server goes away. *)
   shutdown b;
   Replica.set_value a.replica (p "/y") (Some "2");
   Replica.set_value a.replica (p "/z") (Some "3");
+  (* The sender discovers the dead transport asynchronously; flush
+     reports the peer parked rather than drained. *)
+  check Alcotest.bool "flush reports undelivered" false (Replica.flush a.replica);
   (match Replica.peers a.replica with
   | [ r ] ->
-    check Alcotest.bool "marked unreachable" false r.Replica.reachable;
+    check Alcotest.bool "marked unreachable or lagging" true
+      ((not r.Replica.reachable) || r.Replica.lagging);
     Alcotest.check Alcotest.bool "backlog accumulates" true (r.Replica.backlog >= 2)
   | _ -> Alcotest.fail "one peer");
   (* b's updates from before the partition are intact. *)
@@ -88,8 +101,8 @@ let test_unreachable_peer_and_anti_entropy () =
   check Alcotest.(option string) "caught up y" (Some "2") (Ns.lookup b.ns (p "/y"));
   check Alcotest.(option string) "caught up z" (Some "3") (Ns.lookup b.ns (p "/z"));
   check Alcotest.string "converged" (Replica.digest a.ns) (Replica.digest b.ns);
-  shutdown a;
-  shutdown b
+  teardown a;
+  teardown b
 
 let test_anti_entropy_snapshot_fallback () =
   let a = make_cell "a" 5 and b = make_cell "b" 6 in
@@ -107,8 +120,8 @@ let test_anti_entropy_snapshot_fallback () =
   check Alcotest.(option string) "snapshot brought new" (Some "3")
     (Ns.lookup b.ns (p "/new"));
   check Alcotest.string "converged" (Replica.digest a.ns) (Replica.digest b.ns);
-  shutdown a;
-  shutdown b
+  teardown a;
+  teardown b
 
 let test_propagation_via_any_path () =
   (* Updates made directly through the Nameserver API (not the Replica
@@ -117,16 +130,18 @@ let test_propagation_via_any_path () =
   let a = make_cell "a" 21 and b = make_cell "b" 22 in
   ignore (connect a b);
   Ns.set_value a.ns (p "/direct") (Some "through-ns-api");
+  check Alcotest.bool "flushed" true (Replica.flush a.replica);
   check Alcotest.(option string) "propagated" (Some "through-ns-api")
     (Ns.lookup b.ns (p "/direct"));
   (* Batch updates propagate too, in order. *)
   Ns.Db.update_batch (Ns.db a.ns)
     [ Ns.Set_value (p "/b1", Some "1"); Ns.Set_value (p "/b2", Some "2") ];
+  check Alcotest.bool "flushed batch" true (Replica.flush a.replica);
   check Alcotest.(option string) "batch 1" (Some "1") (Ns.lookup b.ns (p "/b1"));
   check Alcotest.(option string) "batch 2" (Some "2") (Ns.lookup b.ns (p "/b2"));
   check Alcotest.string "converged" (Replica.digest a.ns) (Replica.digest b.ns);
-  shutdown a;
-  shutdown b
+  teardown a;
+  teardown b
 
 let test_subscription_api () =
   (* Engine-level: subscribers see (lsn, update) in order; unsubscribe
@@ -150,14 +165,15 @@ let test_converged_with () =
   let a = make_cell "a" 7 and b = make_cell "b" 8 in
   let client_ab = connect a b in
   Replica.set_value a.replica (p "/k") (Some "v");
+  check Alcotest.bool "flushed" true (Replica.flush a.replica);
   Alcotest.check Alcotest.bool "converged" true
     (Replica.converged_with a.replica client_ab);
   (* Diverge b locally. *)
   Ns.set_value b.ns (p "/only-b") (Some "x");
   Alcotest.check Alcotest.bool "diverged" false
     (Replica.converged_with a.replica client_ab);
-  shutdown a;
-  shutdown b
+  teardown a;
+  teardown b
 
 let test_clone_from_peer () =
   (* §4 hard-error recovery: rebuild a dead replica from a live one. *)
@@ -191,16 +207,84 @@ let test_three_replicas_chain () =
   for i = 0 to 9 do
     Replica.set_value a.replica (p (Printf.sprintf "/n%d" i)) (Some (string_of_int i))
   done;
+  check Alcotest.bool "flushed" true (Replica.flush a.replica);
   check Alcotest.string "a=b" (Replica.digest a.ns) (Replica.digest b.ns);
   check Alcotest.string "a=c" (Replica.digest a.ns) (Replica.digest c.ns);
   (* The paper's acceptable loss: updates at a dead replica that never
-     propagated.  Kill the a->b link, update, and confirm only b lags. *)
+     propagated.  Kill the a->b link, update, and confirm only b lags.
+     [flush] still drains the healthy peer even though it returns
+     [false] for the dead one. *)
   shutdown b;
   Replica.set_value a.replica (p "/late") (Some "x");
+  check Alcotest.bool "b undelivered" false (Replica.flush a.replica);
   check Alcotest.(option string) "c has it" (Some "x") (Ns.lookup c.ns (p "/late"));
   check Alcotest.(option string) "b does not" None (Ns.lookup b.ns (p "/late"));
-  shutdown a;
-  shutdown c
+  teardown a;
+  teardown b;
+  teardown c
+
+let test_hung_peer_does_not_block_commits () =
+  (* The acceptance test for non-blocking replication: a peer whose
+     server never replies (transport up, reads hang) must not slow the
+     local commit path.  The client deadline is deliberately huge so a
+     pass cannot be explained by a fast RPC timeout. *)
+  let a = make_cell "a" 31 in
+  let client_t, _server_t_never_served = Rpc.Inproc.pair () in
+  let client = Proto.Client.create ~deadline_s:60.0 client_t in
+  Replica.add_peer a.replica ~id:"hung" client;
+  let n = 20 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n - 1 do
+    Replica.set_value a.replica (p (Printf.sprintf "/k%d" i)) (Some (string_of_int i))
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check Alcotest.bool
+    (Printf.sprintf "local commits fast despite hung peer (%.3fs)" elapsed)
+    true (elapsed < 5.0);
+  (match Replica.peers a.replica with
+  | [ r ] ->
+    check Alcotest.int "backlog counts unacked updates" n r.Replica.backlog;
+    (* One update is stuck in flight; the rest wait in the outbox. *)
+    check Alcotest.bool "outbox holds the overflow" true (r.Replica.queued >= n - 1)
+  | _ -> Alcotest.fail "one peer");
+  (* The gauges agree with the report (same registry cells). *)
+  let depth =
+    Sdb_obs.Metrics.gauge "sdb_replica_outbox_depth" ~help:""
+      ~labels:[ ("replica", "a"); ("peer", "hung") ]
+  in
+  let backlog =
+    Sdb_obs.Metrics.gauge "sdb_replica_backlog" ~help:""
+      ~labels:[ ("replica", "a"); ("peer", "hung") ]
+  in
+  check Alcotest.bool "depth gauge populated" true
+    (Sdb_obs.Metrics.gauge_value depth >= float_of_int (n - 1));
+  check Alcotest.bool "backlog gauge populated" true
+    (Sdb_obs.Metrics.gauge_value backlog >= float_of_int n);
+  (* Shutdown closes the client, which wakes the sender blocked on the
+     hung transport — no 60 s wait. *)
+  let t1 = Unix.gettimeofday () in
+  Replica.shutdown a.replica;
+  check Alcotest.bool "shutdown does not wait out the deadline" true
+    (Unix.gettimeofday () -. t1 < 5.0)
+
+let test_outbox_overflow_marks_lagging () =
+  (* A bounded outbox: when the hung peer's queue fills, further
+     commits mark it lagging (deferred to anti-entropy) instead of
+     growing without bound — and still never block. *)
+  let a = make_cell "a" 32 in
+  let client_t, _never_served = Rpc.Inproc.pair () in
+  let client = Proto.Client.create ~deadline_s:60.0 client_t in
+  Replica.add_peer ~outbox_capacity:4 a.replica ~id:"hung" client;
+  for i = 0 to 11 do
+    Replica.set_value a.replica (p (Printf.sprintf "/o%d" i)) (Some "v")
+  done;
+  (match Replica.peers a.replica with
+  | [ r ] ->
+    check Alcotest.bool "lagging after overflow" true r.Replica.lagging;
+    check Alcotest.bool "queue bounded" true (r.Replica.queued <= 4);
+    check Alcotest.int "nothing lost locally" 12 r.Replica.backlog
+  | _ -> Alcotest.fail "one peer");
+  Replica.shutdown a.replica
 
 let () =
   Helpers.run "replica"
@@ -212,6 +296,13 @@ let () =
           Alcotest.test_case "any update path propagates" `Quick
             test_propagation_via_any_path;
           Alcotest.test_case "subscription api" `Quick test_subscription_api;
+        ] );
+      ( "non-blocking",
+        [
+          Alcotest.test_case "hung peer does not block commits" `Quick
+            test_hung_peer_does_not_block_commits;
+          Alcotest.test_case "outbox overflow marks lagging" `Quick
+            test_outbox_overflow_marks_lagging;
         ] );
       ( "reconciliation",
         [

@@ -113,6 +113,123 @@ let test_socket_connect_failure () =
   | exception Rpc.Rpc_error _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Deadlines, poisoning, retry                                           *)
+
+let test_recv_deadline () =
+  (* No server ever answers: the call must fail at the deadline, not
+     block forever. *)
+  let client_t, _unserved = Rpc.Inproc.pair () in
+  let client = Rpc.Client.create ~deadline_s:0.05 client_t in
+  let t0 = Unix.gettimeofday () in
+  (match Rpc.Client.call client ~meth:"echo" P.string P.string "x" with
+  | _ -> Alcotest.fail "expected deadline error"
+  | exception Rpc.Rpc_error m ->
+    check Alcotest.string "deadline message" Rpc.Transport.deadline_exceeded m);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.check Alcotest.bool "waited about the deadline" true
+    (elapsed >= 0.04 && elapsed < 2.0);
+  check Alcotest.bool "poisoned afterwards" true (Rpc.Client.broken client)
+
+let test_socket_deadline () =
+  (* The socket transport's SO_RCVTIMEO path: a slow handler holds the
+     reply past the client's deadline. *)
+  let handlers =
+    Rpc.Server.handler ~meth:"slow" P.unit P.unit (fun () -> Thread.delay 0.5)
+    :: echo_handlers
+  in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sdb-rpc-dl-%d.sock" (Unix.getpid ()))
+  in
+  let listener = Rpc.Socket.listen ~path (Rpc.Server.serve ~handlers) in
+  Fun.protect
+    ~finally:(fun () -> Rpc.Socket.shutdown listener)
+    (fun () ->
+      let client = Rpc.Client.create ~deadline_s:0.05 (Rpc.Socket.connect ~path) in
+      match Rpc.Client.call client ~meth:"slow" P.unit P.unit () with
+      | () -> Alcotest.fail "expected deadline error"
+      | exception Rpc.Rpc_error m ->
+        check Alcotest.string "deadline message" Rpc.Transport.deadline_exceeded m;
+        check Alcotest.bool "poisoned afterwards" true (Rpc.Client.broken client))
+
+(* Structurally identical to the client's response codec, for forging
+   wire messages in the desync test. *)
+let codec_response_shape =
+  P.record2 "rpc.response"
+    (P.field "id" P.int fst)
+    (P.field "payload" (P.result P.string P.string) snd)
+    (fun id payload -> (id, payload))
+
+let test_desync_poisons_client () =
+  (* A faulty server answers with a response id that matches no
+     request: the client must refuse the answer AND refuse to reuse the
+     connection, or a later call could consume this stale response. *)
+  let client_t, server_t = Rpc.Inproc.pair () in
+  let server =
+    Thread.create
+      (fun () ->
+        match server_t.Rpc.Transport.recv () with
+        | _req ->
+          server_t.Rpc.Transport.send
+            (P.encode codec_response_shape (999, Ok (P.encode P.string "stale")))
+        | exception Rpc.Rpc_error _ -> ())
+      ()
+  in
+  let client = Rpc.Client.create client_t in
+  (match Rpc.Client.call client ~meth:"echo" P.string P.string "x" with
+  | _ -> Alcotest.fail "expected a desync error"
+  | exception Rpc.Rpc_error m ->
+    Alcotest.check Alcotest.bool "mentions the id mismatch" true
+      (String.length m > 0));
+  check Alcotest.bool "broken" true (Rpc.Client.broken client);
+  (* Without [reconnect] every further call fails instead of reading
+     whatever the dead connection still holds. *)
+  (match Rpc.Client.call client ~meth:"echo" P.string P.string "y" with
+  | _ -> Alcotest.fail "poisoned client must not answer"
+  | exception Rpc.Rpc_error _ -> ());
+  Thread.join server
+
+let test_idempotent_retry_reconnects () =
+  (* The first transport is already dead; [reconnect] supplies a live
+     one and the idempotent call succeeds transparently. *)
+  let dead_client, dead_server = Rpc.Inproc.pair () in
+  dead_server.Rpc.Transport.close ();
+  let served = ref [] in
+  let fresh () =
+    let c, s = Rpc.Inproc.pair () in
+    let th = Thread.create (fun () -> Rpc.Server.serve ~handlers:echo_handlers s) () in
+    served := (s, th) :: !served;
+    c
+  in
+  let client =
+    Rpc.Client.create ~retry:Rpc.default_retry ~reconnect:fresh dead_client
+  in
+  check Alcotest.string "retried onto the fresh transport" "hi"
+    (Rpc.Client.call ~idempotent:true client ~meth:"echo" P.string P.string "hi");
+  check Alcotest.bool "healthy after reconnect" false (Rpc.Client.broken client);
+  Rpc.Client.close client;
+  List.iter
+    (fun (s, th) ->
+      s.Rpc.Transport.close ();
+      Thread.join th)
+    !served
+
+let test_non_idempotent_not_retried () =
+  (* A non-idempotent call must fail on the first transport error: the
+     request may have executed, so re-sending it is not safe. *)
+  let dead_client, dead_server = Rpc.Inproc.pair () in
+  dead_server.Rpc.Transport.close ();
+  let client =
+    Rpc.Client.create ~retry:Rpc.default_retry
+      ~reconnect:(fun () -> Alcotest.fail "must not reconnect a non-idempotent call")
+      dead_client
+  in
+  (match Rpc.Client.call client ~meth:"echo" P.string P.string "x" with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Rpc.Rpc_error _ -> ());
+  check Alcotest.bool "broken" true (Rpc.Client.broken client)
+
+(* ------------------------------------------------------------------ *)
 (* Name-server protocol                                                  *)
 
 let p s = match Path.of_string s with Ok v -> v | Error e -> Alcotest.fail e
@@ -230,6 +347,16 @@ let () =
         [
           Alcotest.test_case "end to end" `Quick test_socket_end_to_end;
           Alcotest.test_case "connect failure" `Quick test_socket_connect_failure;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "recv deadline (inproc)" `Quick test_recv_deadline;
+          Alcotest.test_case "recv deadline (socket)" `Quick test_socket_deadline;
+          Alcotest.test_case "desync poisons client" `Quick test_desync_poisons_client;
+          Alcotest.test_case "idempotent retry reconnects" `Quick
+            test_idempotent_retry_reconnects;
+          Alcotest.test_case "non-idempotent not retried" `Quick
+            test_non_idempotent_not_retried;
         ] );
       ( "ns-protocol",
         [

@@ -360,6 +360,37 @@ let prop_random_truncation =
         in
         entries = expected_prefix)
 
+let test_raw_frames_counted () =
+  (* [append_raw_frames] (the concurrent checkpoint's tail copy) must
+     feed the same append counters as the framed path, or the metrics
+     undercount log traffic. *)
+  let module Metrics = Sdb_obs.Metrics in
+  let m_appends = Metrics.counter "sdb_wal_appends_total" in
+  let m_bytes = Metrics.counter "sdb_wal_appended_bytes_total" in
+  let _, fs = mem () in
+  let w = Wal.Writer.create fs "src" ~fingerprint:fp in
+  ignore (Wal.Writer.append w "first");
+  ignore (Wal.Writer.append w "second");
+  Wal.Writer.sync w;
+  Wal.Writer.close w;
+  (* The bytes past the header are two valid frames. *)
+  let raw_file = Fs.read_file fs "src" in
+  let raw =
+    String.sub raw_file Wal.header_size (String.length raw_file - Wal.header_size)
+  in
+  let w2 = Wal.Writer.create fs "dst" ~fingerprint:fp in
+  let appends0 = Metrics.counter_value m_appends in
+  let bytes0 = Metrics.counter_value m_bytes in
+  Wal.Writer.append_raw_frames w2 raw ~count:2;
+  Wal.Writer.sync w2;
+  check Alcotest.int "appends counted" (appends0 + 2)
+    (Metrics.counter_value m_appends);
+  check Alcotest.int "bytes counted"
+    (bytes0 + String.length raw)
+    (Metrics.counter_value m_bytes);
+  Wal.Writer.close w2;
+  expect_entries "raw frames readable" [ "first"; "second" ] no_stop fs "dst"
+
 let () =
   Helpers.run "wal"
     [
@@ -372,6 +403,8 @@ let () =
           Alcotest.test_case "group commit single sync" `Quick test_group_commit_one_sync;
           Alcotest.test_case "count entries" `Quick test_count_entries;
           Alcotest.test_case "writer misuse" `Quick test_writer_misuse;
+          Alcotest.test_case "raw frames feed counters" `Quick
+            test_raw_frames_counted;
         ] );
       ( "recovery",
         [
