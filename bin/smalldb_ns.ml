@@ -23,7 +23,7 @@ let parse_path s =
 (* ------------------------------------------------------------------ *)
 (* serve                                                                *)
 
-let serve dir socket checkpoint_bytes retain metrics_interval =
+let serve dir socket checkpoint_bytes retain metrics_interval scrub_interval =
   let fs = Sdb_storage.Real_fs.create ~root:dir in
   let config =
     {
@@ -43,6 +43,9 @@ let serve dir socket checkpoint_bytes retain metrics_interval =
     let s = Ns.stats ns in
     Printf.printf "serving %s on %s (generation %d, lsn %d, replayed %d)\n%!" dir
       socket s.Smalldb.generation s.Smalldb.lsn s.Smalldb.recovery.Smalldb.replayed;
+    (match scrub_interval with
+    | Some secs when secs > 0.0 -> Ns.start_scrubber ~interval:secs ns
+    | _ -> ());
     let listener = Rpc.Socket.listen ~path:socket (Proto.serve ns) in
     let stop = ref false in
     let handler _ = stop := true in
@@ -165,6 +168,47 @@ let status socket =
 let metrics socket =
   with_client socket (fun c -> print_string (Proto.Client.metrics c))
 
+let print_scrub_report (r : Smalldb.scrub_report) =
+  Printf.printf "scanned: %s\n" (String.concat " " r.Smalldb.scanned_files);
+  Printf.printf "replay:  %s\n"
+    (if r.Smalldb.replay_consistent then "consistent with memory"
+     else "INCONSISTENT");
+  List.iter
+    (fun (f : Smalldb.scrub_finding) ->
+      if f.Smalldb.offset >= 0 then
+        Printf.printf "damage:  %s @%d: %s\n" f.Smalldb.file f.Smalldb.offset
+          f.Smalldb.reason
+      else Printf.printf "damage:  %s: %s\n" f.Smalldb.file f.Smalldb.reason)
+    r.Smalldb.findings;
+  if r.Smalldb.repaired then
+    print_endline "repaired: fresh checkpoint written from memory";
+  Printf.printf "%d finding(s) in %.3fs\n"
+    (List.length r.Smalldb.findings)
+    r.Smalldb.scrub_duration_s
+
+(* Exit codes mirror sdb_inspect --scrub: 0 clean, 1 damage found,
+   2 unreadable/failed. *)
+let scrub socket repair =
+  with_client socket (fun c ->
+      match Proto.Client.scrub c ~repair with
+      | r ->
+        print_scrub_report r;
+        if r.Smalldb.findings <> [] then exit 1
+      | exception Rpc.Rpc_error e ->
+        prerr_endline ("scrub failed: " ^ e);
+        exit 2)
+
+let health socket =
+  with_client socket (fun c ->
+      match Proto.Client.health c with
+      | `Healthy -> print_endline "healthy"
+      | `Degraded reason ->
+        Printf.printf "degraded (read-only): %s\n" reason;
+        exit 1
+      | `Poisoned ->
+        print_endline "poisoned";
+        exit 2)
+
 (* ------------------------------------------------------------------ *)
 (* command line                                                         *)
 
@@ -215,8 +259,19 @@ let serve_cmd =
       & info [ "metrics-interval" ] ~docv:"SECS"
           ~doc:"Dump the metrics registry to stderr every SECS seconds.")
   in
+  let scrub_interval =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "scrub-interval" ] ~docv:"SECS"
+          ~doc:
+            "Run a background integrity scrub (with automatic repair) every \
+             SECS seconds.")
+  in
   Cmd.v (Cmd.info "serve" ~doc:"Run the name server.")
-    Term.(const serve $ dir $ socket_arg $ ckpt $ retain $ metrics_interval)
+    Term.(
+      const serve $ dir $ socket_arg $ ckpt $ retain $ metrics_interval
+      $ scrub_interval)
 
 let client_cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 
@@ -265,6 +320,54 @@ let cmds =
       Term.(const status $ conn_arg);
     client_cmd "metrics" "Print the server's metrics registry (Prometheus text)."
       Term.(const metrics $ conn_arg);
+    Cmd.v
+      (Cmd.info "scrub"
+         ~doc:
+           "Run an online integrity scrub on the server: re-read checkpoint \
+            and log, verify framing CRCs, and cross-check a shadow replay \
+            against the live state."
+         ~man:
+           [
+             `S Manpage.s_description;
+             `P
+               "Verifies the server's on-disk state end to end while it keeps \
+                serving enquiries: a page-wise media scan of the current (and \
+                retained previous) checkpoint and log, a CRC check of every \
+                log frame, and a shadow replay of checkpoint + log \
+                cross-checked against a canonical digest of the in-memory \
+                state.";
+             `P
+               "With $(b,--repair), detected damage is repaired in place by \
+                writing a fresh checkpoint from the known-good in-memory \
+                state; the damaged files are removed.";
+             `S Manpage.s_exit_status;
+             `P "$(b,0) on a clean scrub.";
+             `P "$(b,1) when damage was found (whether or not repaired).";
+             `P "$(b,2) when the scrub could not run (store unreadable, \
+                 server poisoned, or RPC failure).";
+           ])
+      Term.(
+        const scrub $ conn_arg
+        $ Arg.(
+            value & flag
+            & info [ "repair" ]
+                ~doc:
+                  "Self-repair on detected damage: write a fresh checkpoint \
+                   from the known-good in-memory state."));
+    Cmd.v
+      (Cmd.info "health"
+         ~doc:"Print the server's health (healthy / degraded / poisoned)."
+         ~man:
+           [
+             `S Manpage.s_exit_status;
+             `P "$(b,0) healthy.";
+             `P
+               "$(b,1) degraded: disk full, read-only — enquiries still \
+                served; updates resume automatically once a checkpoint \
+                reclaims log space.";
+             `P "$(b,2) poisoned: restart (re-open) required.";
+           ])
+      Term.(const health $ conn_arg);
   ]
 
 let () =

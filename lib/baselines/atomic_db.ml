@@ -58,7 +58,7 @@ let open_ fs =
       let log = fresh_log fs in
       Ok { fs; store; log; closed = false })
 
-let check t = if t.closed then raise (Fs.Io_error "atomic_db: used after close")
+let check t = if t.closed then Fs.io_fail "atomic_db: used after close"
 
 let trim t =
   (* Data was synced by the last apply; the history is now redundant. *)

@@ -95,7 +95,7 @@ let read_page t index =
   fill 0;
   Bytes.unsafe_to_string buf
 
-let check t = if t.closed then raise (Fs.Io_error "Paged_store: used after close")
+let check t = if t.closed then Fs.io_fail "Paged_store: used after close"
 
 (* ------------------------------------------------------------------ *)
 (* Open / create                                                       *)

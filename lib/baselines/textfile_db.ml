@@ -90,7 +90,7 @@ let open_ fs =
   end
   else Ok { fs; table; closed = false }
 
-let check t = if t.closed then raise (Fs.Io_error "textfile_db: used after close")
+let check t = if t.closed then Fs.io_fail "textfile_db: used after close"
 
 (* The whole-file rewrite with atomic rename: crash-safe, O(db size). *)
 let persist t =

@@ -45,6 +45,25 @@ let recovery_hist phase =
 let m_recovery_restore = recovery_hist "restore"
 let m_recovery_replay = recovery_hist "replay"
 
+let m_scrub_runs =
+  Metrics.counter "sdb_scrub_runs_total" ~help:"Integrity scrubs completed."
+
+let m_scrub_damage =
+  Metrics.counter "sdb_scrub_damage_found_total"
+    ~help:"Damaged ranges found by scrubs."
+
+let m_scrub_repairs =
+  Metrics.counter "sdb_scrub_repairs_total"
+    ~help:"Self-repairs: fresh checkpoints written over detected damage."
+
+let m_degraded =
+  Metrics.gauge "sdb_degraded"
+    ~help:"1 while the engine is in degraded (read-only) mode."
+
+let m_degraded_recoveries =
+  Metrics.counter "sdb_degraded_recoveries_total"
+    ~help:"Automatic exits from degraded mode (space reclaimed)."
+
 module type APP = sig
   type state
   type update
@@ -112,6 +131,25 @@ type stats = {
 exception Poisoned
 exception Closed
 
+exception Degraded of string
+
+type health = [ `Healthy | `Degraded of string | `Poisoned ]
+
+type scrub_finding = { file : string; offset : int; reason : string }
+
+type scrub_report = {
+  scanned_files : string list;
+  findings : scrub_finding list;
+  replay_consistent : bool;
+  repaired : bool;
+  scrub_duration_s : float;
+}
+
+(* Backoff for the two space-reclaim retry loops (degraded exit and the
+   auto-checkpoint): doubles per failed attempt, capped. *)
+let backoff_initial = 0.02
+let backoff_max = 5.0
+
 let fresh_recovery =
   {
     replayed = 0;
@@ -148,6 +186,14 @@ module Make (App : APP) = struct
     mutable ckpts : int;
     mutable closed : bool;
     mutable poisoned : bool;
+    mutable degraded_reason : string option;
+    mutable degraded_retry_at : float;
+    mutable degraded_backoff : float;
+    mutable auto_ckpt_retry_at : float;
+    mutable auto_ckpt_backoff : float;
+    mutable last_scrub : scrub_report option;
+    mutable scrub_stop : bool;
+    mutable scrub_thread : Thread.t option;
     mutable recovery : recovery_info;
     (* cumulative phase timings *)
     mutable t_verify : float;
@@ -171,6 +217,20 @@ module Make (App : APP) = struct
     if t.closed then raise Closed;
     if t.poisoned then raise Poisoned
 
+  let health t : health =
+    if t.poisoned then `Poisoned
+    else match t.degraded_reason with
+      | Some reason -> `Degraded reason
+      | None -> `Healthy
+
+  let enter_degraded t reason =
+    if t.degraded_reason = None then begin
+      t.degraded_reason <- Some reason;
+      t.degraded_backoff <- backoff_initial;
+      t.degraded_retry_at <- Unix.gettimeofday () +. backoff_initial;
+      Metrics.set_gauge m_degraded 1.
+    end
+
   (* ---------------------------------------------------------------- *)
   (* Opening                                                           *)
 
@@ -189,6 +249,14 @@ module Make (App : APP) = struct
       ckpts = 0;
       closed = false;
       poisoned = false;
+      degraded_reason = None;
+      degraded_retry_at = 0.;
+      degraded_backoff = backoff_initial;
+      auto_ckpt_retry_at = 0.;
+      auto_ckpt_backoff = backoff_initial;
+      last_scrub = None;
+      scrub_stop = false;
+      scrub_thread = None;
       recovery;
       t_verify = 0.;
       t_pickle = 0.;
@@ -341,6 +409,26 @@ module Make (App : APP) = struct
   (* ---------------------------------------------------------------- *)
   (* Checkpointing                                                     *)
 
+  (* Remove the partial files of a generation whose switch never
+     committed.  Failures are swallowed: recovery deletes the same
+     orphans at the next open. *)
+  let scrap_partial_generation t next =
+    List.iter
+      (fun f -> try t.fs.Fs.remove f with _ -> ())
+      [ Store.newversion_file; Store.checkpoint_file next; Store.log_file next ]
+
+  (* Called on any successful checkpoint: the fresh, empty log is the
+     one operation in this design that reclaims disk space, so it both
+     resets the auto-checkpoint backoff and exits degraded mode. *)
+  let note_space_reclaimed t =
+    t.auto_ckpt_backoff <- backoff_initial;
+    t.auto_ckpt_retry_at <- 0.;
+    if t.degraded_reason <> None then begin
+      t.degraded_reason <- None;
+      Metrics.set_gauge m_degraded 0.;
+      Metrics.incr m_degraded_recoveries
+    end
+
   let checkpoint_locked t =
     let t0 = now () in
     let blob = checkpoint_blob ~lsn:t.lsn t.state in
@@ -348,16 +436,33 @@ module Make (App : APP) = struct
     let next = t.generation + 1 in
     (try
        Store.write_checkpoint t.fs ~version:next blob;
-       Wal.Writer.close t.wal;
+       (* Start the new generation's log before touching the old one:
+          any failure up to the commit point leaves the current
+          generation intact and appendable. *)
        let wal = Wal.Writer.create t.fs (Store.log_file next) ~fingerprint:update_fp in
-       Store.commit ~archive_logs:t.config.archive_logs
-         ~retain_previous:t.config.retain_previous ~old_version:(Some t.generation)
-         ~new_version:next t.fs;
+       (try
+          Store.commit ~archive_logs:t.config.archive_logs
+            ~retain_previous:t.config.retain_previous
+            ~old_version:(Some t.generation) ~new_version:next t.fs
+        with e ->
+          (try Wal.Writer.close wal with _ -> ());
+          raise e);
+       (try Wal.Writer.close t.wal with _ -> ());
        t.wal <- wal;
        t.generation <- next;
        t.ckpts <- t.ckpts + 1;
-       t.since_ckpt <- 0
-     with e ->
+       t.since_ckpt <- 0;
+       note_space_reclaimed t
+     with
+     | Fs.No_space _ as e ->
+       (* Disk full strictly before the commit point — the [newversion]
+          write is all-or-nothing under the [No_space] contract, so the
+          switch either fully happened (then [commit] returned) or not
+          at all.  Scrap the partial next generation and fail just this
+          checkpoint; the engine stays usable on the old one. *)
+       scrap_partial_generation t next;
+       raise e
+     | e ->
        t.poisoned <- true;
        raise e);
     let t2 = now () in
@@ -413,6 +518,7 @@ module Make (App : APP) = struct
         let blob = checkpoint_blob ~lsn:snap_lsn snapshot in
         let t1 = now () in
         let next = t.generation + 1 in
+        let committed = ref false in
         (try
            Store.write_checkpoint t.fs ~version:next blob;
            (* Phase 3: brief exclusion, proportional to the updates
@@ -439,7 +545,7 @@ module Make (App : APP) = struct
                        if got < tail_len then begin
                          let n = r.Fs.r_read buf got (tail_len - got) in
                          if n = 0 then
-                           raise (Fs.Io_error "checkpoint_concurrent: short tail read");
+                           Fs.io_fail ~op:"read" "checkpoint_concurrent: short tail read";
                          fill (got + n)
                        end
                      in
@@ -449,17 +555,31 @@ module Make (App : APP) = struct
                        ~count:tail_count);
                  Wal.Writer.sync wal'
                end;
-               Store.commit ~archive_logs:false
-                 ~retain_previous:t.config.retain_previous
-                 ~old_version:(Some t.generation) ~new_version:next t.fs;
-               Wal.Writer.close t.wal;
+               (try
+                  Store.commit ~archive_logs:false
+                    ~retain_previous:t.config.retain_previous
+                    ~old_version:(Some t.generation) ~new_version:next t.fs
+                with e ->
+                  (try Wal.Writer.close wal' with _ -> ());
+                  raise e);
+               committed := true;
+               (try Wal.Writer.close t.wal with _ -> ());
                t.wal <- wal';
                t.generation <- next;
                t.ckpts <- t.ckpts + 1;
                (* The tail carried into the new log is not covered by
                   the snapshot just written. *)
-               t.since_ckpt <- tail_count)
-         with e ->
+               t.since_ckpt <- tail_count;
+               note_space_reclaimed t)
+         with
+         | (Fs.No_space _ | Wal.Append_rolled_back _) as e when not !committed ->
+           (* Pre-commit-point: the current generation is intact (the
+              tail blit appends only to the not-yet-referenced new log,
+              and a rolled-back append restored even that).  Scrap the
+              partials and fail cleanly. *)
+           scrap_partial_generation t next;
+           raise e
+         | e ->
            t.poisoned <- true;
            raise e);
         let t2 = now () in
@@ -486,7 +606,39 @@ module Make (App : APP) = struct
     | Every_n_updates n -> n > 0 && t.since_ckpt >= n
     | Log_bytes_exceeds limit -> Wal.Writer.length t.wal > limit
 
-  let maybe_auto_checkpoint t = if due_for_checkpoint t then checkpoint t
+  let maybe_auto_checkpoint t =
+    if due_for_checkpoint t && now () >= t.auto_ckpt_retry_at then
+      try checkpoint t
+      with Fs.No_space _ ->
+        (* The update itself committed; the log just could not be
+           compacted yet.  Back off and keep running — degraded mode is
+           entered only once an append itself no longer fits. *)
+        t.auto_ckpt_backoff <- Float.min (t.auto_ckpt_backoff *. 2.) backoff_max;
+        t.auto_ckpt_retry_at <- now () +. t.auto_ckpt_backoff
+
+  (* Degraded mode is read-only: enquiries run, updates are refused
+     with [Degraded].  Once the backoff timer expires, an update
+     attempt first tries the exit path — a checkpoint, the only
+     operation in this design that reclaims disk space (it resets the
+     log to empty and deletes the superseded generation). *)
+  let try_exit_degraded t reason =
+    match checkpoint t with
+    | () -> () (* [note_space_reclaimed] cleared the flag *)
+    | exception Fs.No_space _ ->
+      t.degraded_backoff <- Float.min (t.degraded_backoff *. 2.) backoff_max;
+      t.degraded_retry_at <- now () +. t.degraded_backoff;
+      raise (Degraded reason)
+
+  let check_updatable t =
+    check_usable t;
+    match t.degraded_reason with
+    | None -> ()
+    | Some reason ->
+      if now () < t.degraded_retry_at then raise (Degraded reason)
+      else begin
+        try_exit_degraded t reason;
+        check_usable t
+      end
 
   let subscribe t f =
     Mutex.lock t.subs_mutex;
@@ -537,7 +689,7 @@ module Make (App : APP) = struct
      finalizer releases whatever is still held on any exceptional
      exit. *)
   let update_checked t ~precondition u =
-    check_usable t;
+    check_updatable t;
     Vlock.acquire t.lock Vlock.Update;
     let held = ref (Some Vlock.Update) in
     let release mode =
@@ -572,10 +724,25 @@ module Make (App : APP) = struct
              let payload = Pickle.encode App.codec_update u in
              let t1 = now () in
              (try ignore (Wal.Writer.append_sync t.wal payload)
-              with e ->
-                (* Unknown whether the entry reached the disk: memory
-                   and disk may disagree after this, so refuse further
-                   use. *)
+              with
+              | Wal.Append_rolled_back (Fs.No_space _ as cause) ->
+                (* Nothing reached the log; the disk is just full.
+                   Reject this one update cleanly and go read-only
+                   until a checkpoint can reclaim log space. *)
+                let reason = Fs.describe_exn cause in
+                enter_degraded t reason;
+                raise (Degraded reason)
+              | Wal.Append_rolled_back cause ->
+                (* The write failed but the log was restored to its
+                   exact prior contents — still before the commit
+                   point, so fail the one update and stay usable. *)
+                raise cause
+              | e ->
+                (* The append may have left partial bytes, or the
+                   fsync failed with an unknown amount already durable
+                   (the fsyncgate rule: a failed fsync is never
+                   retried).  Memory and disk may disagree, so refuse
+                   further use. *)
                 t.poisoned <- true;
                 raise e);
              let t2 = now () in
@@ -627,7 +794,7 @@ module Make (App : APP) = struct
      release (nothing committed), log/apply failures poison and
      release. *)
   let update_batch t updates =
-    check_usable t;
+    check_updatable t;
     if updates <> [] then begin
       Vlock.acquire t.lock Vlock.Update;
       let held = ref (Some Vlock.Update) in
@@ -645,7 +812,19 @@ module Make (App : APP) = struct
            (try
               List.iter (fun p -> ignore (Wal.Writer.append t.wal p)) payloads;
               Wal.Writer.sync t.wal
-            with e ->
+            with
+            | Wal.Append_rolled_back (Fs.No_space _ as cause) ->
+              (* The failing append was rolled back, and every earlier
+                 append of the batch is unsynced volatile data above
+                 the recorded length that the reopen path discards —
+                 nothing committed.  But the writer's length no longer
+                 matches what earlier appends buffered, so the engine
+                 must not keep appending: degrade read-only; the exit
+                 checkpoint rebuilds a clean log. *)
+              let reason = Fs.describe_exn cause in
+              enter_degraded t reason;
+              raise (Degraded reason)
+            | e ->
               t.poisoned <- true;
               raise e);
            let t2 = now () in
@@ -675,6 +854,262 @@ module Make (App : APP) = struct
           List.iteri (fun i u -> notify t (base + i) u) updates);
       maybe_auto_checkpoint t
     end
+
+  (* ---------------------------------------------------------------- *)
+  (* Online integrity scrub                                             *)
+
+  let scan_page = 4096
+
+  let really_read r buf want =
+    let got = ref 0 in
+    let eof = ref false in
+    while (not !eof) && !got < want do
+      let n = r.Fs.r_read buf !got (want - !got) in
+      if n = 0 then eof := true else got := !got + n
+    done
+
+  (* Scan one whole file for unreadable (media-damaged) ranges, page by
+     page: a damaged page yields one finding and the scan resumes at
+     the next page, so every distinct damage range is reported rather
+     than only the first. *)
+  let scan_file t file findings =
+    if t.fs.Fs.exists file then begin
+      match t.fs.Fs.open_reader file with
+      | exception e ->
+        findings := { file; offset = 0; reason = Fs.describe_exn e } :: !findings
+      | r ->
+        Fun.protect
+          ~finally:(fun () -> r.Fs.r_close ())
+          (fun () ->
+            let size = r.Fs.r_size in
+            let buf = Bytes.create scan_page in
+            let off = ref 0 in
+            while !off < size do
+              let want = min scan_page (size - !off) in
+              (match
+                 r.Fs.r_seek !off;
+                 really_read r buf want
+               with
+              | () -> ()
+              | exception Fs.Read_error { offset; reason; _ } ->
+                findings := { file; offset; reason } :: !findings
+              | exception e ->
+                findings :=
+                  { file; offset = !off; reason = Fs.describe_exn e }
+                  :: !findings);
+              off := !off + want
+            done)
+    end
+
+  (* Frame-level verification of one log file: CRC-checks every entry
+     under [Skip_damaged] so damage past the first bad entry is still
+     enumerated, optionally folding the decoded updates. *)
+  let verify_log t log findings ~f ~init =
+    match
+      Wal.Reader.fold t.fs log ~fingerprint:update_fp
+        ~policy:Wal.Reader.Skip_damaged ~init ~f
+    with
+    | Error e ->
+      findings :=
+        { file = log; offset = 0; reason = Format.asprintf "%a" Wal.pp_error e }
+        :: !findings;
+      None
+    | exception Pickle.Error m ->
+      findings :=
+        { file = log; offset = 0; reason = "undecodable committed entry: " ^ m }
+        :: !findings;
+      None
+    | Ok (acc, outcome) ->
+      List.iter
+        (fun (offset, reason) ->
+          findings := { file = log; offset; reason } :: !findings)
+        outcome.Wal.Reader.damage;
+      Some (acc, outcome)
+
+  (* Re-read current (and retained previous) checkpoint + log under the
+     checkpoint mutex and the update lock — the same discipline as a
+     blocking checkpoint, so enquiries keep running while updates and
+     checkpoints wait.  With [repair] (and damage found), a fresh
+     generation is checkpointed from the known-good in-memory state and
+     the damaged files are dropped. *)
+  let scrub ?(repair = false) ?digest t =
+    check_usable t;
+    let t0 = now () in
+    Mutex.lock t.ckpt_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.ckpt_mutex)
+      (fun () ->
+        Vlock.acquire t.lock Vlock.Update;
+        Fun.protect
+          ~finally:(fun () -> Vlock.release t.lock Vlock.Update)
+          (fun () ->
+            check_usable t;
+            let gen = t.generation in
+            let ckpt = Store.checkpoint_file gen in
+            let log = Store.log_file gen in
+            let findings = ref [] in
+            let scanned = ref [] in
+            let note file = scanned := file :: !scanned in
+            (* 1. Media scan of every file of both generations. *)
+            note ckpt;
+            scan_file t ckpt findings;
+            note log;
+            scan_file t log findings;
+            let prev_ckpt = Store.checkpoint_file (gen - 1) in
+            let prev_log = Store.log_file (gen - 1) in
+            if gen > 0 && t.fs.Fs.exists prev_ckpt then begin
+              note prev_ckpt;
+              scan_file t prev_ckpt findings
+            end;
+            if gen > 0 && t.fs.Fs.exists prev_log then begin
+              note prev_log;
+              scan_file t prev_log findings;
+              ignore (verify_log t prev_log findings ~init:() ~f:(fun () _ -> ()))
+            end;
+            (* 2. Shadow replay: decode the checkpoint, replay the log
+               into it, and cross-check the result against memory. *)
+            let replay_consistent = ref true in
+            (match load_checkpoint t.fs ckpt with
+            | exception Fs.Read_error _ ->
+              (* already reported by the media scan *)
+              replay_consistent := false
+            | Error reason ->
+              replay_consistent := false;
+              if not (List.exists (fun f -> String.equal f.file ckpt) !findings)
+              then findings := { file = ckpt; offset = 0; reason } :: !findings
+            | Ok (meta, shadow0) -> (
+              match
+                verify_log t log findings ~init:(shadow0, meta.base_lsn)
+                  ~f:(fun (st, lsn) entry ->
+                    let u =
+                      Pickle.decode App.codec_update entry.Wal.Reader.payload
+                    in
+                    (App.apply st u, lsn + 1))
+              with
+              | None -> replay_consistent := false
+              | Some ((shadow, shadow_lsn), outcome) ->
+                if
+                  outcome.Wal.Reader.skipped > 0
+                  || outcome.Wal.Reader.stopped_early <> None
+                then replay_consistent := false
+                else begin
+                  if shadow_lsn <> t.lsn then begin
+                    replay_consistent := false;
+                    findings :=
+                      {
+                        file = log;
+                        offset = outcome.Wal.Reader.valid_length;
+                        reason =
+                          Printf.sprintf
+                            "replay reaches lsn %d but memory is at lsn %d"
+                            shadow_lsn t.lsn;
+                      }
+                      :: !findings
+                  end;
+                  match digest with
+                  | Some d when !replay_consistent ->
+                    if not (String.equal (d shadow) (d t.state)) then begin
+                      replay_consistent := false;
+                      findings :=
+                        {
+                          file = ckpt;
+                          offset = -1;
+                          reason = "replayed disk state digest differs from memory";
+                        }
+                        :: !findings
+                    end
+                  | _ -> ()
+                end))
+            ;
+            let findings = List.rev !findings in
+            Metrics.incr m_scrub_runs;
+            Metrics.add m_scrub_damage (List.length findings);
+            (* 3. Self-repair: memory is the known-good copy (§4 —
+               restore consistency by writing a fresh checkpoint from
+               it), then drop the damaged files the new generation no
+               longer references. *)
+            let repaired = ref false in
+            if repair && findings <> [] then begin
+              match checkpoint_locked t with
+              | () ->
+                repaired := true;
+                Metrics.incr m_scrub_repairs;
+                List.iter
+                  (fun (f : scrub_finding) ->
+                    if f.offset >= 0 && t.fs.Fs.exists f.file then
+                      try t.fs.Fs.remove f.file with _ -> ())
+                  findings
+              | exception Fs.No_space _ -> ()
+              (* repair needs headroom; report unrepaired, try later *)
+            end;
+            let report =
+              {
+                scanned_files = List.rev !scanned;
+                findings;
+                replay_consistent = !replay_consistent;
+                repaired = !repaired;
+                scrub_duration_s = now () -. t0;
+              }
+            in
+            t.last_scrub <- Some report;
+            if Trace.active () then
+              Trace.span "scrub"
+                ~attrs:
+                  [
+                    ("app", App.name);
+                    ("findings", string_of_int (List.length findings));
+                    ("repaired", string_of_bool !repaired);
+                  ]
+                ~start_s:t0 ~dur_s:report.scrub_duration_s;
+            report))
+
+  let last_scrub t = t.last_scrub
+
+  (* ---------------------------------------------------------------- *)
+  (* Background scrubber                                               *)
+
+  let scrub_tick = 0.05
+
+  let start_scrubber ?(interval = 60.) ?(repair = true) ?digest t =
+    check_usable t;
+    if t.scrub_thread <> None then
+      invalid_arg "Smalldb.start_scrubber: already running";
+    t.scrub_stop <- false;
+    let alive () = (not t.scrub_stop) && not t.closed in
+    let thread =
+      Thread.create
+        (fun () ->
+          let rec sleep_until deadline =
+            if alive () then begin
+              let left = deadline -. now () in
+              if left > 0. then begin
+                Thread.delay (Float.min scrub_tick left);
+                sleep_until deadline
+              end
+            end
+          in
+          let rec loop () =
+            sleep_until (now () +. interval);
+            if alive () then begin
+              (match scrub ~repair ?digest t with
+              | (_ : scrub_report) -> ()
+              | exception (Closed | Poisoned) -> t.scrub_stop <- true
+              | exception _ -> ());
+              loop ()
+            end
+          in
+          loop ())
+        ()
+    in
+    t.scrub_thread <- Some thread
+
+  let stop_scrubber t =
+    t.scrub_stop <- true;
+    match t.scrub_thread with
+    | None -> ()
+    | Some th ->
+      t.scrub_thread <- None;
+      Thread.join th
 
   (* ---------------------------------------------------------------- *)
   (* Introspection                                                     *)
@@ -716,7 +1151,7 @@ module Make (App : APP) = struct
               f acc (base + entry.Wal.Reader.index) u)
         with
         | Ok (acc, _outcome) -> acc
-        | Error e -> raise (Fs.Io_error (Format.asprintf "%a" Wal.pp_error e)))
+        | Error e -> Fs.io_fail ~op:"read" (Format.asprintf "%a" Wal.pp_error e))
 
   let log_suffix t ~from =
     check_usable t;
@@ -734,7 +1169,7 @@ module Make (App : APP) = struct
                 else acc)
           with
           | Ok (acc, _outcome) -> Some (List.rev acc)
-          | Error e -> raise (Fs.Io_error (Format.asprintf "%a" Wal.pp_error e))
+          | Error e -> Fs.io_fail ~op:"read" (Format.asprintf "%a" Wal.pp_error e)
         end)
 
   module History = struct
@@ -819,6 +1254,7 @@ module Make (App : APP) = struct
 
   let close t =
     if not t.closed then begin
+      stop_scrubber t;
       Vlock.acquire t.lock Vlock.Update;
       t.closed <- true;
       (try Wal.Writer.close t.wal with Fs.Io_error _ -> ());

@@ -104,11 +104,44 @@ type stats = {
 
 exception Poisoned
 (** The instance observed a failure after a commit point (e.g. [apply]
-    raised on a committed update, or the backing store crashed); memory
-    may disagree with disk, so every subsequent operation refuses.
+    raised on a committed update, the log fsync failed with an unknown
+    number of bytes already durable — the fsyncgate rule: a failed
+    fsync is never retried — or the backing store crashed); memory may
+    disagree with disk, so every subsequent operation refuses.
     Re-open the store to recover. *)
 
 exception Closed
+
+exception Degraded of string
+(** The engine is in read-only mode after running out of disk space:
+    the failing log append was all-or-nothing, so nothing committed and
+    memory still equals disk — enquiries keep being served, updates
+    raise this.  The engine exits automatically: once a backoff timer
+    expires, the next update attempt first tries a checkpoint, which
+    resets the log to empty and deletes the superseded generation (the
+    only operation in this design that reclaims space).  See DESIGN.md
+    §4c for the full failure taxonomy. *)
+
+type health = [ `Healthy | `Degraded of string | `Poisoned ]
+
+type scrub_finding = {
+  file : string;  (** store-relative file name *)
+  offset : int;
+      (** byte offset of the damage ([-1] for whole-state findings such
+          as a digest mismatch) *)
+  reason : string;
+}
+
+type scrub_report = {
+  scanned_files : string list;
+  findings : scrub_finding list;
+  replay_consistent : bool;
+      (** the checkpoint decoded, the log replayed cleanly into it up
+          to the in-memory LSN, and (when a digest was supplied) the
+          replayed state digests equal to memory *)
+  repaired : bool;  (** a fresh generation was written over the damage *)
+  scrub_duration_s : float;
+}
 
 module Make (App : APP) : sig
   type t
@@ -158,7 +191,13 @@ module Make (App : APP) : sig
 
   val checkpoint : t -> unit
   (** Write a checkpoint and reset the log.  Holds the update lock for
-      the duration (enquiries proceed, updates wait). *)
+      the duration (enquiries proceed, updates wait).
+
+      Runs out of disk space cleanly: {!Sdb_storage.Fs.No_space} before
+      the commit point scraps the partial new generation and leaves the
+      engine fully usable on the old one (no poison).  A successful
+      checkpoint also exits {!Degraded} mode, since the fresh empty log
+      is what reclaims space. *)
 
   val checkpoint_concurrent : t -> unit
   (** A fuzzy checkpoint that does {e not} exclude updates while the
@@ -181,6 +220,53 @@ module Make (App : APP) : sig
       raises [Invalid_argument] in that configuration. *)
 
   val stats : t -> stats
+
+  val health : t -> health
+  (** Never raises (usable on a poisoned instance). *)
+
+  (** {2 Integrity scrubbing}
+
+      §4 assumes hard errors are {e noticed}; the scrubber notices them
+      online instead of at the next restart. *)
+
+  val scrub :
+    ?repair:bool -> ?digest:(App.state -> string) -> t -> scrub_report
+  (** Re-read the current (and retained previous) checkpoint + log and
+      verify them end to end: a page-wise media scan of every file, a
+      CRC check of every log frame, and a shadow replay of checkpoint +
+      log cross-checked against the live state.  Runs under the same
+      lock discipline as a blocking checkpoint: enquiries keep running,
+      updates and checkpoints wait.
+
+      [digest] enables the memory cross-check; it must be {e canonical}
+      (equal states give equal strings — a plain pickle of a hash table
+      is not, since its iteration order depends on insertion history).
+
+      With [repair:true] and damage found, the engine self-repairs by
+      writing a fresh checkpoint from the known-good in-memory state
+      (§4's consistency restoration, automated) and removing the
+      damaged files; a subsequent scrub is clean.  Repair is skipped
+      (report says [repaired = false]) when the disk is too full to
+      write the new generation.
+
+      Raises {!Poisoned}/{!Closed}; never {!Degraded} (a degraded
+      engine can and should be scrubbed — a successful repair
+      checkpoint also exits degraded mode). *)
+
+  val last_scrub : t -> scrub_report option
+  (** The most recent report, however produced (direct call, RPC, or
+      the background scrubber). *)
+
+  val start_scrubber :
+    ?interval:float -> ?repair:bool -> ?digest:(App.state -> string) -> t ->
+    unit
+  (** Run {!scrub} on a background thread every [interval] seconds
+      (default 60, [repair] defaults to [true]).  The thread stops
+      itself when the instance is closed or poisoned; {!close} also
+      stops it.  Raises [Invalid_argument] if already running. *)
+
+  val stop_scrubber : t -> unit
+  (** Stop and join the background scrubber (idempotent). *)
 
   (** {2 Update subscriptions}
 

@@ -207,7 +207,7 @@ module Make (App : Smalldb.APP) = struct
     let file = part_ckpt_file k pi.pi_version in
     match Fs.read_file fs file with
     | exception Fs.Read_error { reason; _ } -> failf "%s unreadable: %s" file reason
-    | exception Fs.Io_error m -> failf "%s: %s" file m
+    | exception (Fs.Io_error _ as e) -> failf "%s: %s" file (Fs.describe_exn e)
     | blob -> (
       match P.of_string codec_blob blob with
       | Error m -> failf "%s: %s" file m

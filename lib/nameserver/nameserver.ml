@@ -140,5 +140,21 @@ let compare_and_set t path ~expected v =
 
 let checkpoint = Db.checkpoint
 let stats = Db.stats
+let health = Db.health
+
+(* The canonical digest of the live state: the wire tree pickles with
+   sorted children, so equal trees give equal strings — which the raw
+   node pickle (hash tables, insertion-ordered) does not. *)
+let state_digest root =
+  Digest.string (P.encode Ns_data.codec_tree (Ns_data.snapshot root))
+
+let digest t = Db.query t state_digest
+let scrub ?repair t = Db.scrub ?repair ~digest:state_digest t
+let last_scrub = Db.last_scrub
+
+let start_scrubber ?interval ?repair t =
+  Db.start_scrubber ?interval ?repair ~digest:state_digest t
+
+let stop_scrubber = Db.stop_scrubber
 let fold_log t ~init ~f = Db.fold_log t ~init ~f
 let close = Db.close

@@ -90,5 +90,24 @@ val compare_and_set :
 
 val checkpoint : t -> unit
 val stats : t -> Smalldb.stats
+
+val health : t -> Smalldb.health
+(** [`Healthy], [`Degraded reason] (read-only after disk-full — all
+    enquiries above still work), or [`Poisoned]. *)
+
+val digest : t -> string
+(** Canonical digest of the live state (equal trees — equal digests),
+    used to compare replicas and to cross-check scrubs. *)
+
+val scrub : ?repair:bool -> t -> Smalldb.scrub_report
+(** {!Smalldb.Make.scrub} with the canonical tree digest wired in, so
+    the shadow replay is cross-checked against memory. *)
+
+val last_scrub : t -> Smalldb.scrub_report option
+
+val start_scrubber : ?interval:float -> ?repair:bool -> t -> unit
+(** Background scrub thread (see {!Smalldb.Make.start_scrubber}). *)
+
+val stop_scrubber : t -> unit
 val fold_log : t -> init:'acc -> f:('acc -> int -> update -> 'acc) -> 'acc
 val close : t -> unit

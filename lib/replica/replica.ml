@@ -21,6 +21,10 @@ let m_overflows =
   Metrics.counter "sdb_replica_outbox_overflows_total"
     ~help:"Commits dropped from a full outbox (peer deferred to anti-entropy)."
 
+let m_repairs =
+  Metrics.counter "sdb_replica_repairs_total"
+    ~help:"Stores rebuilt from a peer's full state (repair_from_peer)."
+
 (* The commit path must never do I/O: [on_commit] only appends to this
    bounded per-peer outbox; a dedicated sender thread drains it.  A
    peer that errors, times out, or overflows the outbox is marked
@@ -375,6 +379,38 @@ let converged_with t peer_client =
   match Proto.Client.digest peer_client with
   | peer_digest -> String.equal (digest t.ns) peer_digest
   | exception Rpc.Rpc_error _ -> false
+
+(* §4: "restoring its data from another replica".  Unlike [clone_from]
+   this works on the {e damaged} store itself — including when [open_]
+   refuses it (e.g. interior log damage with committed entries beyond):
+   the transferred state is digest-verified, the wrecked files are
+   wiped, and the store is rebuilt and checkpointed in place. *)
+let repair_from_peer ?config peer_client fs =
+  match Proto.Client.fetch_state peer_client with
+  | exception Rpc.Rpc_error m -> Error ("repair_from_peer: " ^ m)
+  | tree, _lsn, peer_digest ->
+    if
+      not
+        (String.equal
+           (Digest.string (P.encode Ns_data.codec_tree tree))
+           peer_digest)
+    then Error "repair_from_peer: transferred state does not match peer digest"
+    else begin
+      List.iter
+        (fun f -> try fs.Sdb_storage.Fs.remove f with _ -> ())
+        (fs.Sdb_storage.Fs.list_files ());
+      match Ns.open_ ?config fs with
+      | Error e -> Error ("repair_from_peer: " ^ e)
+      | Ok ns ->
+        Ns.write_subtree ns [] tree;
+        Ns.checkpoint ns;
+        Metrics.incr m_repairs;
+        if String.equal (Ns.digest ns) peer_digest then Ok ns
+        else begin
+          Ns.close ns;
+          Error "repair_from_peer: rebuilt state digest differs from peer"
+        end
+    end
 
 let clone_from peer_client fs =
   match Proto.Client.snapshot peer_client with

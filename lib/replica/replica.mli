@@ -102,3 +102,16 @@ val clone_from :
   Sdb_rpc.Ns_protocol.Client.t -> Sdb_storage.Fs.t -> (Sdb_nameserver.Nameserver.t, string) result
 (** Hard-error recovery: rebuild a replica's database from a peer's
     snapshot into a fresh store, then checkpoint it. *)
+
+val repair_from_peer :
+  ?config:Smalldb.config ->
+  Sdb_rpc.Ns_protocol.Client.t -> Sdb_storage.Fs.t ->
+  (Sdb_nameserver.Nameserver.t, string) result
+(** §4's restore-from-replica, automated, on the {e damaged} store
+    itself — usable when [open_] refuses the store outright (e.g.
+    interior log damage with committed entries beyond it).  Pulls the
+    peer's full state via the [fetch_state] RPC, verifies the transfer
+    against the peer's canonical digest, wipes the store's files,
+    rebuilds, checkpoints, and verifies the rebuilt digest.  The lost
+    tail, if any, is "only those updates that had been applied to the
+    damaged replica but not propagated to any other replica" (§4). *)

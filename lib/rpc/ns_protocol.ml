@@ -7,6 +7,43 @@ let codec_value = P.option P.string
 let codec_tree = Ns_data.codec_tree
 let codec_update = Ns.codec_update
 
+let codec_scrub_finding =
+  P.record3 "ns.scrub_finding"
+    (P.field "file" P.string (fun (f : Smalldb.scrub_finding) -> f.file))
+    (P.field "offset" P.int (fun (f : Smalldb.scrub_finding) -> f.offset))
+    (P.field "reason" P.string (fun (f : Smalldb.scrub_finding) -> f.reason))
+    (fun file offset reason -> { Smalldb.file; offset; reason })
+
+let codec_scrub_report =
+  P.record5 "ns.scrub_report"
+    (P.field "scanned_files" (P.list P.string) (fun (r : Smalldb.scrub_report) ->
+         r.scanned_files))
+    (P.field "findings" (P.list codec_scrub_finding)
+       (fun (r : Smalldb.scrub_report) -> r.findings))
+    (P.field "replay_consistent" P.bool (fun (r : Smalldb.scrub_report) ->
+         r.replay_consistent))
+    (P.field "repaired" P.bool (fun (r : Smalldb.scrub_report) -> r.repaired))
+    (P.field "duration_s" P.float (fun (r : Smalldb.scrub_report) ->
+         r.scrub_duration_s))
+    (fun scanned_files findings replay_consistent repaired scrub_duration_s ->
+      {
+        Smalldb.scanned_files;
+        findings;
+        replay_consistent;
+        repaired;
+        scrub_duration_s;
+      })
+
+let codec_health =
+  P.variant ~name:"ns.health"
+    [
+      P.case0 "healthy" `Healthy (fun h -> h = `Healthy);
+      P.case "degraded" P.string
+        (function `Degraded r -> Some r | _ -> None)
+        (fun r -> `Degraded r);
+      P.case0 "poisoned" `Poisoned (fun h -> h = `Poisoned);
+    ]
+
 let handlers ns =
   let h = Rpc.Server.handler in
   [
@@ -51,6 +88,16 @@ let handlers ns =
         let tree, _lsn = Ns.snapshot_with_lsn ns in
         Digest.string (P.encode codec_tree tree));
     h ~meth:"metrics" P.unit P.string (fun () -> Sdb_obs.Metrics.render ());
+    (* One atomic call: the digest is of exactly the returned tree, so
+       a repairing replica can verify the transfer. *)
+    h ~meth:"fetch_state"
+      P.unit
+      (P.triple codec_tree P.int P.string)
+      (fun () ->
+        let tree, lsn = Ns.snapshot_with_lsn ns in
+        (tree, lsn, Digest.string (P.encode codec_tree tree)));
+    h ~meth:"scrub" P.bool codec_scrub_report (fun repair -> Ns.scrub ~repair ns);
+    h ~meth:"health" P.unit codec_health (fun () -> Ns.health ns);
   ]
 
 let serve ns transport = Rpc.Server.serve ~handlers:(handlers ns) transport
@@ -129,4 +176,14 @@ module Client = struct
   let checkpoint t = call t ~meth:"checkpoint" P.unit P.unit ()
   let digest t = call ~idempotent:true t ~meth:"digest" P.unit P.string ()
   let metrics t = call ~idempotent:true t ~meth:"metrics" P.unit P.string ()
+
+  let fetch_state t =
+    call ~idempotent:true t ~meth:"fetch_state" P.unit
+      (P.triple codec_tree P.int P.string)
+      ()
+
+  (* [scrub] is read-only unless the server self-repairs, and a repeat
+     repair is a no-op on an already-clean store — safe to re-send. *)
+  let scrub t ~repair = call ~idempotent:true t ~meth:"scrub" P.bool codec_scrub_report repair
+  let health t = call ~idempotent:true t ~meth:"health" P.unit codec_health ()
 end

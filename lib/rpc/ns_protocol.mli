@@ -81,4 +81,16 @@ module Client : sig
   val metrics : t -> string
   (** The server process's {!Sdb_obs.Metrics.render} output
       (Prometheus text exposition). *)
+
+  val fetch_state : t -> Sdb_nameserver.Ns_data.tree * int * string
+  (** Full-state transfer for replica repair (§4's
+      restore-from-replica): the snapshot tree, the LSN it reflects,
+      and the canonical digest of exactly that tree, taken in one
+      atomic call so the receiver can verify the transfer. *)
+
+  val scrub : t -> repair:bool -> Smalldb.scrub_report
+  (** Run an online integrity scrub on the server (see
+      {!Sdb_nameserver.Nameserver.scrub}). *)
+
+  val health : t -> Smalldb.health
 end

@@ -1,0 +1,210 @@
+type op = [ `Read | `Write | `Sync ]
+
+type fault = {
+  f_op : op;
+  f_at : int;  (* fires when the op counter reaches this value *)
+  f_count : int;
+  f_errno : Unix.error;
+}
+
+type t = {
+  inner : Fs.t;
+  rng : Random.State.t;
+  lock : Mutex.t;
+  mutable scheduled : fault list;
+  mutable rate_read : float;
+  mutable rate_write : float;
+  mutable rate_sync : float;
+  mutable latency : float;
+  mutable capacity : int option;
+  mutable n_read : int;
+  mutable n_write : int;
+  mutable n_sync : int;
+  mutable n_injected : int;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let op_name = function `Read -> "read" | `Write -> "write" | `Sync -> "fsync"
+
+let rate t = function
+  | `Read -> t.rate_read
+  | `Write -> t.rate_write
+  | `Sync -> t.rate_sync
+
+let bump t = function
+  | `Read ->
+    t.n_read <- t.n_read + 1;
+    t.n_read
+  | `Write ->
+    t.n_write <- t.n_write + 1;
+    t.n_write
+  | `Sync ->
+    t.n_sync <- t.n_sync + 1;
+    t.n_sync
+
+let inner_total_bytes t =
+  List.fold_left
+    (fun acc f -> acc + t.inner.Fs.file_size f)
+    0
+    (t.inner.Fs.list_files ())
+
+(* Decide, under the lock, whether this operation faults.  Returns the
+   errno to fail with, if any.  Faults fire before the wrapped call, so
+   a faulted write never partially mutates the inner store. *)
+let check t op =
+  locked t (fun () ->
+      let n = bump t op in
+      let hit =
+        List.find_opt
+          (fun f -> f.f_op = op && n >= f.f_at && n < f.f_at + f.f_count)
+          t.scheduled
+      in
+      match hit with
+      | Some f ->
+        t.n_injected <- t.n_injected + 1;
+        Some f.f_errno
+      | None ->
+        let r = rate t op in
+        if r > 0. && Random.State.float t.rng 1.0 < r then begin
+          t.n_injected <- t.n_injected + 1;
+          Some Unix.EIO
+        end
+        else None)
+
+let intercept t op ~file k =
+  if t.latency > 0. then Unix.sleepf t.latency;
+  match check t op with
+  | Some errno -> (
+    match op with
+    | `Read ->
+      raise (Fs.Read_error { file; offset = -1; reason = "injected fault" })
+    | (`Write | `Sync) as op ->
+      Fs.io_fail ~op:(op_name op) ~file ~errno "fault_fs: injected fault")
+  | None -> k ()
+
+(* Charge [growth] bytes against the capacity budget (if any) before
+   letting the write through. *)
+let charge t ~file growth k =
+  (match t.capacity with
+  | Some cap when growth > 0 ->
+    let used = inner_total_bytes t in
+    if used + growth > cap then begin
+      locked t (fun () -> t.n_injected <- t.n_injected + 1);
+      raise
+        (Fs.No_space { file; needed = growth; available = max 0 (cap - used) })
+    end
+  | _ -> ());
+  k ()
+
+let wrap ?(seed = 0) inner =
+  let t =
+    {
+      inner;
+      rng = Random.State.make [| seed; 0x4661756c |];
+      lock = Mutex.create ();
+      scheduled = [];
+      rate_read = 0.;
+      rate_write = 0.;
+      rate_sync = 0.;
+      latency = 0.;
+      capacity = None;
+      n_read = 0;
+      n_write = 0;
+      n_sync = 0;
+      n_injected = 0;
+    }
+  in
+  let wrap_reader (r : Fs.reader) =
+    {
+      r with
+      Fs.r_read =
+        (fun buf pos len ->
+          intercept t `Read ~file:r.Fs.r_file (fun () -> r.Fs.r_read buf pos len));
+    }
+  in
+  let wrap_writer (w : Fs.writer) =
+    (* appends grow the file by exactly the write's length *)
+    {
+      w with
+      Fs.w_write =
+        (fun s ->
+          charge t ~file:w.Fs.w_file (String.length s) (fun () ->
+              intercept t `Write ~file:w.Fs.w_file (fun () -> w.Fs.w_write s)));
+      w_sync =
+        (fun () ->
+          intercept t `Sync ~file:w.Fs.w_file (fun () -> w.Fs.w_sync ()));
+    }
+  in
+  let wrap_random (rw : Fs.random) =
+    {
+      rw with
+      Fs.pread =
+        (fun ~off buf pos len ->
+          intercept t `Read ~file:rw.Fs.rw_file (fun () ->
+              rw.Fs.pread ~off buf pos len));
+      pwrite =
+        (fun ~off s ->
+          let growth = max 0 (off + String.length s - rw.Fs.rw_size ()) in
+          charge t ~file:rw.Fs.rw_file growth (fun () ->
+              intercept t `Write ~file:rw.Fs.rw_file (fun () ->
+                  rw.Fs.pwrite ~off s)));
+      rw_sync =
+        (fun () ->
+          intercept t `Sync ~file:rw.Fs.rw_file (fun () -> rw.Fs.rw_sync ()));
+    }
+  in
+  let fs =
+    {
+      inner with
+      Fs.fs_name = Printf.sprintf "fault(%s)" inner.Fs.fs_name;
+      open_reader = (fun name -> wrap_reader (inner.Fs.open_reader name));
+      create = (fun name -> wrap_writer (inner.Fs.create name));
+      open_append = (fun name -> wrap_writer (inner.Fs.open_append name));
+      open_random = (fun name -> wrap_random (inner.Fs.open_random name));
+    }
+  in
+  (t, fs)
+
+let fail_nth t ~op ~n ?(count = 1) ?(errno = Unix.EIO) () =
+  if n < 1 || count < 1 then invalid_arg "Fault_fs.fail_nth";
+  locked t (fun () ->
+      let base = match op with `Read -> t.n_read | `Write -> t.n_write | `Sync -> t.n_sync in
+      t.scheduled <-
+        { f_op = op; f_at = base + n; f_count = count; f_errno = errno }
+        :: t.scheduled)
+
+let set_fault_rate t ~op r =
+  if r < 0. || r > 1. then invalid_arg "Fault_fs.set_fault_rate";
+  locked t (fun () ->
+      match op with
+      | `Read -> t.rate_read <- r
+      | `Write -> t.rate_write <- r
+      | `Sync -> t.rate_sync <- r)
+
+let set_latency t s =
+  if s < 0. then invalid_arg "Fault_fs.set_latency";
+  t.latency <- s
+
+let set_capacity t c =
+  (match c with
+  | Some c when c < 0 -> invalid_arg "Fault_fs.set_capacity"
+  | _ -> ());
+  t.capacity <- c
+
+let clear t =
+  locked t (fun () ->
+      t.scheduled <- [];
+      t.rate_read <- 0.;
+      t.rate_write <- 0.;
+      t.rate_sync <- 0.;
+      t.latency <- 0.;
+      t.capacity <- None)
+
+let ops t ~op =
+  locked t (fun () ->
+      match op with `Read -> t.n_read | `Write -> t.n_write | `Sync -> t.n_sync)
+
+let injected t = locked t (fun () -> t.n_injected)

@@ -1,5 +1,38 @@
 exception Read_error of { file : string; offset : int; reason : string }
-exception Io_error of string
+
+exception
+  Io_error of {
+    op : string;
+    file : string option;
+    errno : Unix.error option;
+    message : string;
+  }
+
+exception No_space of { file : string; needed : int; available : int }
+
+let io_error ?(op = "") ?file ?errno message = Io_error { op; file; errno; message }
+let io_fail ?op ?file ?errno message = raise (io_error ?op ?file ?errno message)
+
+let errno_transient = function
+  | Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK -> true
+  | _ -> false
+
+let describe_exn = function
+  | Read_error { file; offset; reason } ->
+    Printf.sprintf "read error in %s at offset %d: %s" file offset reason
+  | Io_error { op; file; errno; message } ->
+    let where = match file with Some f -> Printf.sprintf " on %s" f | None -> "" in
+    let cause =
+      match errno with
+      | Some e -> Printf.sprintf " (%s)" (Unix.error_message e)
+      | None -> ""
+    in
+    if op = "" then Printf.sprintf "i/o error%s: %s%s" where message cause
+    else Printf.sprintf "%s failed%s: %s%s" op where message cause
+  | No_space { file; needed; available } ->
+    Printf.sprintf "no space on %s: %d bytes needed, %d available" file needed
+      available
+  | e -> Printexc.to_string e
 
 module Counters = struct
   type t = {

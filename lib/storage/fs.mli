@@ -19,8 +19,39 @@ exception Read_error of { file : string; offset : int; reason : string }
 (** A damaged or torn region was read.  Matches the paper's assumption
     that disks "give either correct data or an error". *)
 
-exception Io_error of string
-(** Any other failure: missing file, handle used after close or crash. *)
+exception
+  Io_error of {
+    op : string;  (** the failing operation ("write", "fsync", "open", …) *)
+    file : string option;
+    errno : Unix.error option;
+        (** the underlying cause when one is known (real or injected),
+            so callers can classify transient vs permanent failures
+            without string matching *)
+    message : string;
+  }
+(** Any other failure: missing file, handle used after close or crash,
+    a device error.  Construct with {!io_error} / {!io_fail}. *)
+
+exception No_space of { file : string; needed : int; available : int }
+(** The write would exceed the store's byte-capacity budget (disk
+    full).  Guaranteed all-or-nothing by {!Mem_fs} and {!Fault_fs}: the
+    failing write left the file exactly as it was, so the engine can
+    reject the one update cleanly instead of poisoning itself. *)
+
+val io_error :
+  ?op:string -> ?file:string -> ?errno:Unix.error -> string -> exn
+(** Build an {!Io_error} ([op] defaults to [""]). *)
+
+val io_fail : ?op:string -> ?file:string -> ?errno:Unix.error -> string -> 'a
+(** [raise (io_error …)]. *)
+
+val errno_transient : Unix.error -> bool
+(** True for errnos that name a retryable condition ([EINTR], [EAGAIN],
+    [EWOULDBLOCK]) rather than a sick device. *)
+
+val describe_exn : exn -> string
+(** One-line rendering of {!Read_error} / {!Io_error} / {!No_space}
+    (falls back to [Printexc.to_string]). *)
 
 module Counters : sig
   (** Disk-operation accounting.  The cost model converts these into

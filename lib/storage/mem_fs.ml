@@ -33,6 +33,7 @@ type store = {
   mutable epoch : int;
   mutable ops : int;
   mutable crash_after : (int * crash_mode) option;
+  mutable capacity : int option;  (* byte budget across all files *)
 }
 
 let create_store ?(page_size = 512) ?(seed = 0x5eed) () =
@@ -45,14 +46,23 @@ let create_store ?(page_size = 512) ?(seed = 0x5eed) () =
     epoch = 0;
     ops = 0;
     crash_after = None;
+    capacity = None;
   }
 
 let mutating_ops t = t.ops
 
+let total_bytes t = Hashtbl.fold (fun _ f acc -> acc + f.len) t.files 0
+
+let set_capacity t capacity =
+  (match capacity with
+  | Some c when c < 0 -> invalid_arg "Mem_fs.set_capacity: negative capacity"
+  | _ -> ());
+  t.capacity <- capacity
+
 let find t name =
   match Hashtbl.find_opt t.files name with
   | Some f -> f
-  | None -> raise (Fs.Io_error (Printf.sprintf "mem_fs: no such file %S" name))
+  | None -> Fs.io_fail ~op:"open" ~file:name "mem_fs: no such file"
 
 let new_file () =
   { data = Bytes.create 256; len = 0; stable_len = 0; dirty = Hashtbl.create 4; damaged = [] }
@@ -114,9 +124,21 @@ let mark_dirty t f off len =
     d.wend <- max d.wend (min (off + len) page_end)
   done
 
-let do_pwrite t f off s =
+let do_pwrite t name f off s =
   let n = String.length s in
   if n > 0 then begin
+    (* Disk-full is checked before anything mutates, so a [No_space]
+       write is all-or-nothing — the property the engine's clean-reject
+       path relies on. *)
+    let growth = max 0 (off + n - f.len) in
+    (match t.capacity with
+    | Some cap when growth > 0 ->
+      let used = total_bytes t in
+      if used + growth > cap then
+        raise
+          (Fs.No_space
+             { file = name; needed = growth; available = max 0 (cap - used) })
+    | _ -> ());
     ensure_capacity f (off + n);
     if off > f.len then Bytes.fill f.data f.len (off - f.len) '\x00';
     mark_dirty t f off n;
@@ -219,7 +241,7 @@ let mutating_op t =
 
 let check_epoch t epoch what =
   if t.epoch <> epoch then
-    raise (Fs.Io_error (Printf.sprintf "mem_fs: %s handle invalidated by crash" what))
+    Fs.io_fail ~op:what (Printf.sprintf "mem_fs: %s handle invalidated by crash" what)
 
 let overlap_damage f pos n =
   List.fold_left
@@ -257,7 +279,7 @@ let open_reader t name =
   let closed = ref false in
   let check () =
     check_epoch t epoch "reader";
-    if !closed then raise (Fs.Io_error "mem_fs: reader used after close")
+    if !closed then Fs.io_fail ~op:"read" ~file:name "mem_fs: reader used after close"
   in
   {
     Fs.r_file = name;
@@ -281,7 +303,7 @@ let writer_of_file t name f =
   let closed = ref false in
   let check what =
     check_epoch t epoch what;
-    if !closed then raise (Fs.Io_error "mem_fs: writer used after close")
+    if !closed then Fs.io_fail ~op:what ~file:name "mem_fs: writer used after close"
   in
   {
     Fs.w_file = name;
@@ -289,7 +311,7 @@ let writer_of_file t name f =
       (fun s ->
         check "writer";
         mutating_op t;
-        do_pwrite t f f.len s);
+        do_pwrite t name f f.len s);
     w_sync =
       (fun () ->
         check "writer";
@@ -303,7 +325,7 @@ let open_random_handle t name f =
   let closed = ref false in
   let check what =
     check_epoch t epoch what;
-    if !closed then raise (Fs.Io_error "mem_fs: random handle used after close")
+    if !closed then Fs.io_fail ~op:what ~file:name "mem_fs: random handle used after close"
   in
   {
     Fs.rw_file = name;
@@ -316,7 +338,7 @@ let open_random_handle t name f =
         check "random";
         if off < 0 then invalid_arg "mem_fs: pwrite negative offset";
         mutating_op t;
-        do_pwrite t f off s);
+        do_pwrite t name f off s);
     rw_sync =
       (fun () ->
         check "random";
@@ -374,7 +396,8 @@ let fs t =
   let truncate name len =
     let f = find t name in
     if len < 0 || len > f.len then
-      raise (Fs.Io_error (Printf.sprintf "mem_fs: truncate %S to %d out of range" name len));
+      Fs.io_fail ~op:"truncate" ~file:name
+        (Printf.sprintf "mem_fs: truncate to %d out of range" len);
     mutating_op t;
     f.len <- len;
     f.stable_len <- min f.stable_len len;
@@ -412,8 +435,6 @@ let damage t ~file ~offset ~len =
   if offset < 0 || len < 0 || offset + len > f.len then
     invalid_arg "Mem_fs.damage: range outside file";
   add_damage f offset len
-
-let total_bytes t = Hashtbl.fold (fun _ f acc -> acc + f.len) t.files 0
 
 let file_names t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.files [] |> List.sort compare

@@ -68,4 +68,12 @@ val damage : store -> file:string -> offset:int -> len:int -> unit
 val total_bytes : store -> int
 (** Sum of file sizes — disk-space accounting for E12. *)
 
+val set_capacity : store -> int option -> unit
+(** [set_capacity s (Some bytes)] caps the store at [bytes] total: a
+    write whose growth would push {!total_bytes} over the budget raises
+    {!Fs.No_space} {e before mutating anything} (all-or-nothing, so the
+    engine can reject the one update cleanly).  [None] (the default)
+    removes the limit.  Rewrites inside a file's current extent are
+    always allowed — only growth is charged. *)
+
 val file_names : store -> string list

@@ -6,14 +6,23 @@ let rec mkdir_p dir =
 
 let check_flat name =
   if String.contains name '/' || String.equal name ".." then
-    raise (Fs.Io_error (Printf.sprintf "real_fs: invalid file name %S" name))
+    Fs.io_fail ~op:"open" ~file:name "real_fs: invalid file name"
 
-let wrap_unix what f =
+(* Carry the failing operation and errno up in structured form so the
+   engine's failure taxonomy can classify the cause without string
+   matching; a full device is its own exception so the clean-reject
+   path can recognise it. *)
+let wrap_unix ?file what f =
   try f ()
-  with Unix.Unix_error (e, fn, arg) ->
-    raise
-      (Fs.Io_error (Printf.sprintf "real_fs: %s: %s(%s): %s" what fn arg
-           (Unix.error_message e)))
+  with Unix.Unix_error (e, fn, arg) -> (
+    match e with
+    | Unix.ENOSPC ->
+      raise
+        (Fs.No_space
+           { file = Option.value file ~default:arg; needed = 0; available = 0 })
+    | _ ->
+      Fs.io_fail ~op:what ?file ~errno:e
+        (Printf.sprintf "real_fs: %s(%s)" fn arg))
 
 let create ~root =
   mkdir_p root;
@@ -29,10 +38,14 @@ let create ~root =
   in
   let exists name = Sys.file_exists (path name) in
   let file_size name =
-    wrap_unix "file_size" (fun () -> (Unix.stat (path name)).Unix.st_size)
+    wrap_unix ~file:name "file_size" (fun () ->
+        (Unix.stat (path name)).Unix.st_size)
   in
   let open_reader name =
-    let fd = wrap_unix "open_reader" (fun () -> Unix.openfile (path name) [ Unix.O_RDONLY ] 0) in
+    let fd =
+      wrap_unix ~file:name "open_reader" (fun () ->
+          Unix.openfile (path name) [ Unix.O_RDONLY ] 0)
+    in
     let size = (Unix.fstat fd).Unix.st_size in
     let closed = ref false in
     {
@@ -40,59 +53,64 @@ let create ~root =
       r_size = size;
       r_read =
         (fun buf off len ->
-          if !closed then raise (Fs.Io_error "real_fs: reader used after close");
-          wrap_unix "read" (fun () -> Unix.read fd buf off len)
+          if !closed then
+            Fs.io_fail ~op:"read" ~file:name "real_fs: reader used after close";
+          wrap_unix ~file:name "read" (fun () -> Unix.read fd buf off len)
           |> fun n ->
           counters.data_reads <- counters.data_reads + 1;
           counters.bytes_read <- counters.bytes_read + n;
           n);
       r_seek =
         (fun target ->
-          if !closed then raise (Fs.Io_error "real_fs: reader used after close");
-          ignore (wrap_unix "lseek" (fun () -> Unix.lseek fd target Unix.SEEK_SET)));
+          if !closed then
+            Fs.io_fail ~op:"seek" ~file:name "real_fs: reader used after close";
+          ignore
+            (wrap_unix ~file:name "seek" (fun () ->
+                 Unix.lseek fd target Unix.SEEK_SET)));
       r_close =
         (fun () ->
           if not !closed then begin
             closed := true;
-            wrap_unix "close" (fun () -> Unix.close fd)
+            wrap_unix ~file:name "close" (fun () -> Unix.close fd)
           end);
     }
   in
   let writer_of_fd name fd =
     let closed = ref false in
-    let check () =
-      if !closed then raise (Fs.Io_error "real_fs: writer used after close")
+    let check what =
+      if !closed then
+        Fs.io_fail ~op:what ~file:name "real_fs: writer used after close"
     in
     {
       Fs.w_file = name;
       w_write =
         (fun s ->
-          check ();
+          check "write";
           let n = String.length s in
           let written =
-            wrap_unix "write" (fun () ->
+            wrap_unix ~file:name "write" (fun () ->
                 Unix.write_substring fd s 0 n)
           in
           if written <> n then
-            raise (Fs.Io_error (Printf.sprintf "real_fs: short write on %S" name));
+            Fs.io_fail ~op:"write" ~file:name "real_fs: short write";
           counters.data_writes <- counters.data_writes + 1;
           counters.bytes_written <- counters.bytes_written + n);
       w_sync =
         (fun () ->
-          check ();
-          wrap_unix "fsync" (fun () -> Unix.fsync fd);
+          check "fsync";
+          wrap_unix ~file:name "fsync" (fun () -> Unix.fsync fd);
           counters.syncs <- counters.syncs + 1);
       w_close =
         (fun () ->
           if not !closed then begin
             closed := true;
-            wrap_unix "close" (fun () -> Unix.close fd)
+            wrap_unix ~file:name "close" (fun () -> Unix.close fd)
           end);
     }
   in
   let create_file name =
     let fd =
-      wrap_unix "create" (fun () ->
+      wrap_unix ~file:name "create" (fun () ->
           Unix.openfile (path name) [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644)
     in
     counters.creates <- counters.creates + 1;
@@ -100,45 +118,55 @@ let create ~root =
   in
   let open_append name =
     let fd =
-      wrap_unix "open_append" (fun () ->
+      wrap_unix ~file:name "open_append" (fun () ->
           Unix.openfile (path name) [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644)
     in
     writer_of_fd name fd
   in
   let open_random name =
     let fd =
-      wrap_unix "open_random" (fun () ->
+      wrap_unix ~file:name "open_random" (fun () ->
           Unix.openfile (path name) [ Unix.O_RDWR; Unix.O_CREAT ] 0o644)
     in
     counters.creates <- counters.creates + 1;
     let closed = ref false in
-    let check () =
-      if !closed then raise (Fs.Io_error "real_fs: random handle used after close")
+    let check what =
+      if !closed then
+        Fs.io_fail ~op:what ~file:name "real_fs: random handle used after close"
     in
     {
       Fs.rw_file = name;
       pread =
         (fun ~off buf pos n ->
-          check ();
-          ignore (wrap_unix "lseek" (fun () -> Unix.lseek fd off Unix.SEEK_SET));
-          let got = wrap_unix "read" (fun () -> Unix.read fd buf pos n) in
+          check "pread";
+          ignore
+            (wrap_unix ~file:name "seek" (fun () ->
+                 Unix.lseek fd off Unix.SEEK_SET));
+          let got =
+            wrap_unix ~file:name "pread" (fun () -> Unix.read fd buf pos n)
+          in
           counters.data_reads <- counters.data_reads + 1;
           counters.bytes_read <- counters.bytes_read + got;
           got);
       pwrite =
         (fun ~off s ->
-          check ();
-          ignore (wrap_unix "lseek" (fun () -> Unix.lseek fd off Unix.SEEK_SET));
+          check "pwrite";
+          ignore
+            (wrap_unix ~file:name "seek" (fun () ->
+                 Unix.lseek fd off Unix.SEEK_SET));
           let n = String.length s in
-          let written = wrap_unix "write" (fun () -> Unix.write_substring fd s 0 n) in
+          let written =
+            wrap_unix ~file:name "pwrite" (fun () ->
+                Unix.write_substring fd s 0 n)
+          in
           if written <> n then
-            raise (Fs.Io_error (Printf.sprintf "real_fs: short pwrite on %S" name));
+            Fs.io_fail ~op:"pwrite" ~file:name "real_fs: short pwrite";
           counters.data_writes <- counters.data_writes + 1;
           counters.bytes_written <- counters.bytes_written + n);
       rw_sync =
         (fun () ->
-          check ();
-          wrap_unix "fsync" (fun () -> Unix.fsync fd);
+          check "fsync";
+          wrap_unix ~file:name "fsync" (fun () -> Unix.fsync fd);
           counters.syncs <- counters.syncs + 1);
       rw_size = (fun () -> (Unix.fstat fd).Unix.st_size);
       rw_close =
@@ -150,22 +178,24 @@ let create ~root =
     }
   in
   let rename src dst =
-    wrap_unix "rename" (fun () -> Unix.rename (path src) (path dst));
+    wrap_unix ~file:src "rename" (fun () -> Unix.rename (path src) (path dst));
     counters.renames <- counters.renames + 1
   in
   let remove name =
     if Sys.file_exists (path name) then begin
-      wrap_unix "remove" (fun () -> Unix.unlink (path name));
+      wrap_unix ~file:name "remove" (fun () -> Unix.unlink (path name));
       counters.removes <- counters.removes + 1
     end
   in
   let truncate name len =
     let fd =
-      wrap_unix "truncate" (fun () -> Unix.openfile (path name) [ Unix.O_WRONLY ] 0)
+      wrap_unix ~file:name "truncate" (fun () ->
+          Unix.openfile (path name) [ Unix.O_WRONLY ] 0)
     in
     Fun.protect
       ~finally:(fun () -> Unix.close fd)
-      (fun () -> wrap_unix "ftruncate" (fun () -> Unix.ftruncate fd len));
+      (fun () ->
+        wrap_unix ~file:name "truncate" (fun () -> Unix.ftruncate fd len));
     counters.data_writes <- counters.data_writes + 1
   in
   {

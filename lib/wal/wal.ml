@@ -50,8 +50,12 @@ let check_fingerprint fp =
   if String.length fp <> fingerprint_size then
     invalid_arg "Wal: fingerprint must be 16 bytes"
 
+exception Append_rolled_back of exn
+
 module Writer = struct
   type t = {
+    fs : Fs.t;
+    file : string;
     w : Fs.writer;
     mutable entries : int;
     mutable length : int;
@@ -63,7 +67,7 @@ module Writer = struct
     let w = fs.Fs.create file in
     w.Fs.w_write (magic ^ fingerprint);
     w.Fs.w_sync ();
-    { w; entries = 0; length = header_size; closed = false }
+    { fs; file; w; entries = 0; length = header_size; closed = false }
 
   let reopen fs file ~fingerprint ~valid_length ~entries =
     check_fingerprint fingerprint;
@@ -73,9 +77,30 @@ module Writer = struct
     if valid_length > size then invalid_arg "Wal.Writer.reopen: valid_length beyond EOF";
     if valid_length < size then fs.Fs.truncate file valid_length;
     let w = fs.Fs.open_append file in
-    { w; entries; length = valid_length; closed = false }
+    { fs; file; w; entries; length = valid_length; closed = false }
 
-  let check t = if t.closed then raise (Fs.Io_error "Wal.Writer: used after close")
+  (* A failed append happens strictly before the entry's fsync, i.e.
+     before the commit point, so the update can still fail cleanly —
+     provided the log is put back exactly as it was.  [No_space] is
+     already all-or-nothing (nothing was written); any other write
+     failure may have left partial bytes, which we cut back off with a
+     truncate to the last known-good length.  If the truncate succeeds
+     the original failure is re-raised wrapped in {!Append_rolled_back}
+     so the engine knows the log is intact; if even the truncate fails
+     the original exception escapes untouched and the engine must
+     poison. *)
+  let write_rollback t s =
+    try t.w.Fs.w_write s with
+    | Fs.No_space _ as e -> raise (Append_rolled_back e)
+    | Fs.Io_error _ as e -> (
+      (* Only structured I/O failures are rolled back; anything else
+         (e.g. a simulated whole-machine crash) passes through — there
+         is no machine left to roll back on. *)
+      match t.fs.Fs.truncate t.file t.length with
+      | () -> raise (Append_rolled_back e)
+      | exception _ -> raise e)
+
+  let check t = if t.closed then Fs.io_fail ~op:"write" "Wal.Writer: used after close"
 
   let frame payload =
     let len = String.length payload in
@@ -91,7 +116,7 @@ module Writer = struct
     let framed = frame payload in
     let timed = Metrics.is_enabled () in
     let t0 = if timed then Unix.gettimeofday () else 0.0 in
-    t.w.Fs.w_write framed;
+    write_rollback t framed;
     if timed then Metrics.observe m_append_seconds (Unix.gettimeofday () -. t0);
     Metrics.incr m_appends;
     Metrics.add m_appended_bytes (String.length framed);
@@ -103,7 +128,7 @@ module Writer = struct
   let append_raw_frames t raw ~count =
     check t;
     if count < 0 then invalid_arg "Wal.Writer.append_raw_frames: negative count";
-    t.w.Fs.w_write raw;
+    write_rollback t raw;
     Metrics.add m_appends count;
     Metrics.add m_appended_bytes (String.length raw);
     t.length <- t.length + String.length raw;
@@ -142,6 +167,7 @@ module Reader = struct
     valid_length : int;
     stopped_early : string option;
     entries_beyond_damage : int;
+    damage : (int * string) list;
   }
 
   (* Read exactly [n] bytes unless EOF or damage intervenes. *)
@@ -211,12 +237,17 @@ module Reader = struct
                   in
                   go start 0
                 in
-                let rec loop acc index skipped offset =
+                let rec loop acc index skipped dmg offset =
                   let finish ?probe_from reason =
                     let beyond =
                       match probe_from with
                       | Some start when reason <> None -> probe_beyond start
                       | _ -> 0
+                    in
+                    let dmg =
+                      match reason with
+                      | Some r when r <> "" -> (offset, r) :: dmg
+                      | _ -> dmg
                     in
                     Metrics.add m_entries_read index;
                     if reason <> None then Metrics.incr m_torn_tails;
@@ -227,6 +258,7 @@ module Reader = struct
                         valid_length = offset;
                         stopped_early = reason;
                         entries_beyond_damage = beyond;
+                        damage = List.rev dmg;
                       } )
                   in
                   if offset >= size then finish None
@@ -255,7 +287,9 @@ module Reader = struct
                               (Some ("torn entry payload: " ^ reason))
                           | Skip_damaged ->
                             r.Fs.r_seek after;
-                            loop acc index (skipped + 1) after
+                            loop acc index (skipped + 1)
+                              ((offset, "torn entry payload: " ^ reason) :: dmg)
+                              after
                         end
                         | Full payload_bytes ->
                           let payload = Bytes.unsafe_to_string payload_bytes in
@@ -264,15 +298,18 @@ module Reader = struct
                             match policy with
                             | Stop_at_damage ->
                               finish ~probe_from:after (Some "entry crc mismatch")
-                            | Skip_damaged -> loop acc index (skipped + 1) after
+                            | Skip_damaged ->
+                              loop acc index (skipped + 1)
+                                ((offset, "entry crc mismatch") :: dmg)
+                                after
                           end
                           else begin
                             let acc = f acc { index; payload; offset } in
-                            loop acc (index + 1) skipped after
+                            loop acc (index + 1) skipped dmg after
                           end
                       end
                 in
-                Ok (loop init 0 0 header_size)
+                Ok (loop init 0 0 [] header_size)
               end
             end)
     end

@@ -32,6 +32,15 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
+exception Append_rolled_back of exn
+(** A log append failed {e before} the commit point and the log was
+    restored to exactly its prior contents (truncated back to the last
+    known-good length, or nothing was written at all as with
+    {!Sdb_storage.Fs.No_space}).  Carries the original failure.  The
+    engine may reject the one update cleanly and keep running.  When an
+    append failure escapes {e without} this wrapper, partial bytes may
+    remain and the caller must treat the log as suspect. *)
+
 val header_size : int
 val frame_overhead : int
 (** Bytes of framing added per entry (length + CRC words). *)
@@ -50,7 +59,9 @@ module Writer : sig
       truncated first. *)
 
   val append : t -> string -> int
-  (** Buffer one framed entry (no fsync); returns its index. *)
+  (** Buffer one framed entry (no fsync); returns its index.  On write
+      failure, attempts to roll the file back and raises
+      {!Append_rolled_back} on success (see above). *)
 
   val append_raw_frames : t -> string -> count:int -> unit
   (** Append bytes that are already valid frames ([count] of them),
@@ -101,6 +112,11 @@ module Reader : sig
             interior media damage — committed history would be lost by
             truncating, so the caller must escalate (skip-damaged
             policy, previous generation, or a replica) *)
+    damage : (int * string) list;
+        (** byte offset and reason of every damaged entry encountered:
+            each one skipped under [Skip_damaged], or the stopping one
+            under [Stop_at_damage].  This is what the scrubber reports,
+            so operators see {e where} the media is sick. *)
   }
 
   val fold :

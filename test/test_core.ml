@@ -912,6 +912,200 @@ let test_checkpoint_during_concurrent_queries () =
   let db2 = KVDb.open_exn fs in
   check Alcotest.int "state intact" 10 (sequenced_prefix db2)
 
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation: disk full                                      *)
+
+module Fault = Sdb_storage.Fault_fs
+
+let fault_db () =
+  let store = Mem.create_store ~seed:11 () in
+  let ctl, ffs = Fault.wrap (Mem.fs store) in
+  (store, ctl, ffs, KVDb.open_exn ffs)
+
+let test_disk_full_degrades_and_recovers () =
+  let store, _, db = mem_db () in
+  for i = 0 to 9 do
+    KVDb.update db (sequenced_update i)
+  done;
+  (* Cap the store so tightly that neither an append nor the exit
+     checkpoint fits. *)
+  Mem.set_capacity store (Some (Mem.total_bytes store + 4));
+  (match KVDb.update db (sequenced_update 10) with
+  | _ -> fail "expected Degraded"
+  | exception Smalldb.Degraded _ -> ());
+  (* The refused update failed cleanly: memory still equals disk. *)
+  check Alcotest.int "committed prefix intact" 10 (sequenced_prefix db);
+  (match KVDb.health db with
+  | `Degraded _ -> ()
+  | _ -> fail "expected degraded health");
+  (* Read-only mode: enquiries are served... *)
+  check
+    Alcotest.(option string)
+    "enquiries served" (Some "v0000") (get db "k0000");
+  (* ...a degraded engine can still be scrubbed... *)
+  let r = KVDb.scrub db in
+  check Alcotest.bool "scrub runs while degraded" true r.Smalldb.replay_consistent;
+  (* ...and updates keep being refused (the retry checkpoint cannot
+     reclaim enough under this cap either). *)
+  Thread.delay 0.03;
+  (match KVDb.update db (sequenced_update 10) with
+  | _ -> fail "expected Degraded on retry"
+  | exception Smalldb.Degraded _ -> ());
+  (* Space turns up (operator freed some): once the backoff expires the
+     next update first checkpoints — resetting the log is what reclaims
+     space — and then commits normally. *)
+  Mem.set_capacity store (Some (Mem.total_bytes store + 2048));
+  Thread.delay 0.1;
+  KVDb.update db (sequenced_update 10);
+  check Alcotest.int "auto-recovered" 11 (sequenced_prefix db);
+  (match KVDb.health db with
+  | `Healthy -> ()
+  | _ -> fail "expected healthy after recovery");
+  Alcotest.check Alcotest.bool "exit ran a checkpoint" true
+    ((KVDb.stats db).Smalldb.generation > 0);
+  KVDb.close db
+
+let test_write_fault_rejects_cleanly () =
+  let _, ctl, _, db = fault_db () in
+  set db "a" "1";
+  Fault.fail_nth ctl ~op:`Write ~n:1 ();
+  (* The failed append is rolled back (truncated off), so this is a
+     pre-commit-point failure: the one update fails, nothing else. *)
+  (match set db "b" "2" with
+  | _ -> fail "expected Io_error"
+  | exception Fs.Io_error _ -> ());
+  check Alcotest.(option string) "rejected update absent" None (get db "b");
+  (match KVDb.health db with `Healthy -> () | _ -> fail "expected healthy");
+  set db "b" "2";
+  check Alcotest.(option string) "usable after clean reject" (Some "2") (get db "b")
+
+let test_fsync_fault_poisons () =
+  let _, ctl, _, db = fault_db () in
+  set db "a" "1";
+  Fault.fail_nth ctl ~op:`Sync ~n:1 ();
+  (* A failed fsync may have left any prefix durable — the fsyncgate
+     rule: never retry it, poison instead. *)
+  (match set db "b" "2" with
+  | _ -> fail "expected Io_error"
+  | exception Fs.Io_error _ -> ());
+  (match KVDb.health db with `Poisoned -> () | _ -> fail "expected poisoned");
+  (match get db "a" with
+  | _ -> fail "expected Poisoned"
+  | exception Smalldb.Poisoned -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Integrity scrubbing                                                  *)
+
+(* Canonical digest for the KV app: sorted bindings, so equal tables
+   give equal strings regardless of insertion order. *)
+let kv_digest st =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) st []
+  |> List.sort compare
+  |> List.concat_map (fun (k, v) -> [ k; v ])
+  |> String.concat "\x00" |> Digest.string
+
+let test_scrub_clean () =
+  let _, _, db = mem_db () in
+  for i = 0 to 9 do
+    KVDb.update db (sequenced_update i)
+  done;
+  KVDb.checkpoint db;
+  for i = 10 to 14 do
+    KVDb.update db (sequenced_update i)
+  done;
+  let r = KVDb.scrub ~digest:kv_digest db in
+  check Alcotest.int "no findings" 0 (List.length r.Smalldb.findings);
+  check Alcotest.bool "replay consistent" true r.Smalldb.replay_consistent;
+  check Alcotest.bool "no repair needed" false r.Smalldb.repaired;
+  let gen = (KVDb.stats db).Smalldb.generation in
+  check Alcotest.bool "scanned the checkpoint" true
+    (List.mem (Store.checkpoint_file gen) r.Smalldb.scanned_files);
+  check Alcotest.bool "scanned the log" true
+    (List.mem (Store.log_file gen) r.Smalldb.scanned_files);
+  check Alcotest.bool "report retained" true (KVDb.last_scrub db = Some r)
+
+let test_scrub_detects_and_repairs_damage () =
+  let store, fs, db = mem_db () in
+  for i = 0 to 19 do
+    KVDb.update db (sequenced_update i)
+  done;
+  let gen = (KVDb.stats db).Smalldb.generation in
+  let log = Store.log_file gen in
+  (* Silently rot one committed entry in the middle of the log. *)
+  Mem.damage store ~file:log ~offset:60 ~len:8;
+  let r = KVDb.scrub ~digest:kv_digest db in
+  check Alcotest.bool "damage found" true (r.Smalldb.findings <> []);
+  check Alcotest.bool "file and offset reported" true
+    (List.exists
+       (fun f ->
+         String.equal f.Smalldb.file log
+         && f.Smalldb.offset >= 0
+         && f.Smalldb.offset <= 60)
+       r.Smalldb.findings);
+  check Alcotest.bool "replay inconsistent" false r.Smalldb.replay_consistent;
+  (* Self-repair: memory is the good copy; a fresh checkpoint restores
+     consistency and the damaged generation is dropped. *)
+  let r2 = KVDb.scrub ~repair:true ~digest:kv_digest db in
+  check Alcotest.bool "repaired" true r2.Smalldb.repaired;
+  let r3 = KVDb.scrub ~digest:kv_digest db in
+  check Alcotest.int "clean after repair" 0 (List.length r3.Smalldb.findings);
+  check Alcotest.bool "consistent after repair" true r3.Smalldb.replay_consistent;
+  (* Still updatable, and the repaired store recovers everything. *)
+  KVDb.update db (sequenced_update 20);
+  KVDb.close db;
+  let db2 = KVDb.open_exn fs in
+  check Alcotest.int "repaired store recovers" 21 (sequenced_prefix db2);
+  KVDb.close db2
+
+let test_scrub_digest_mismatch () =
+  let _, _, db = mem_db () in
+  for i = 0 to 4 do
+    KVDb.update db (sequenced_update i)
+  done;
+  (* Corrupt memory behind the engine's back: every file is pristine,
+     yet disk no longer replays to the live state.  Only the digest
+     cross-check can see this. *)
+  KVDb.query db (fun st -> Hashtbl.replace st "sneak" "gremlin");
+  let r = KVDb.scrub ~digest:kv_digest db in
+  check Alcotest.bool "whole-state finding" true
+    (List.exists (fun f -> f.Smalldb.offset = -1) r.Smalldb.findings);
+  check Alcotest.bool "replay inconsistent" false r.Smalldb.replay_consistent;
+  (* Without a digest the divergence is invisible — which is exactly
+     why the nameserver supplies one. *)
+  let r2 = KVDb.scrub db in
+  check Alcotest.bool "invisible without digest" true r2.Smalldb.replay_consistent
+
+let test_background_scrubber_repairs () =
+  let store, _, db = mem_db () in
+  for i = 0 to 9 do
+    KVDb.update db (sequenced_update i)
+  done;
+  let gen = (KVDb.stats db).Smalldb.generation in
+  Mem.damage store ~file:(Store.log_file gen) ~offset:40 ~len:4;
+  KVDb.start_scrubber ~interval:0.02 ~digest:kv_digest db;
+  (match KVDb.start_scrubber ~interval:9. db with
+  | _ -> fail "expected Invalid_argument on double start"
+  | exception Invalid_argument _ -> ());
+  let deadline = Unix.gettimeofday () +. 5. in
+  let rec wait () =
+    match KVDb.last_scrub db with
+    | Some r when r.Smalldb.repaired -> ()
+    | _ ->
+      if Unix.gettimeofday () > deadline then fail "scrubber never repaired"
+      else begin
+        Thread.delay 0.01;
+        wait ()
+      end
+  in
+  wait ();
+  KVDb.stop_scrubber db;
+  KVDb.stop_scrubber db;
+  (* idempotent *)
+  let r = KVDb.scrub ~digest:kv_digest db in
+  check Alcotest.int "clean after background repair" 0
+    (List.length r.Smalldb.findings);
+  KVDb.close db
+
 let () =
   Helpers.run "core"
     [
@@ -1004,5 +1198,23 @@ let () =
             test_concurrent_updates_and_queries;
           Alcotest.test_case "checkpoint during queries" `Quick
             test_checkpoint_during_concurrent_queries;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "disk full degrades and recovers" `Quick
+            test_disk_full_degrades_and_recovers;
+          Alcotest.test_case "write fault rejects cleanly" `Quick
+            test_write_fault_rejects_cleanly;
+          Alcotest.test_case "fsync fault poisons" `Quick test_fsync_fault_poisons;
+        ] );
+      ( "scrub",
+        [
+          Alcotest.test_case "clean store" `Quick test_scrub_clean;
+          Alcotest.test_case "detects and repairs damage" `Quick
+            test_scrub_detects_and_repairs_damage;
+          Alcotest.test_case "digest catches divergence" `Quick
+            test_scrub_digest_mismatch;
+          Alcotest.test_case "background scrubber repairs" `Quick
+            test_background_scrubber_repairs;
         ] );
     ]

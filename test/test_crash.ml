@@ -52,8 +52,10 @@ let recover_and_verify ?config ~what ~outcome fs =
     KVDb.close db;
     n
 
-(* Sweep every crash point of a fixed workload. *)
-let sweep ~mode ~ckpt_every ~config () =
+(* Sweep every crash point of a fixed workload.  [seed_base] offsets
+   the store RNG so torn sweeps can be repeated under independent
+   page-fate draws. *)
+let sweep ?(seed_base = 0) ~mode ~ckpt_every ~config () =
   (* First, measure how many ops the full workload performs. *)
   let store, _, _ =
     run_workload ?config ~seed:0 ~n:12 ~ckpt_every ~crash_at:100000 ~mode ()
@@ -62,10 +64,11 @@ let sweep ~mode ~ckpt_every ~config () =
   Alcotest.check Alcotest.bool "workload does work" true (total_ops > 20);
   for k = 1 to total_ops do
     let _, fs, outcome =
-      run_workload ?config ~seed:k ~n:12 ~ckpt_every ~crash_at:k ~mode ()
+      run_workload ?config ~seed:(seed_base + k) ~n:12 ~ckpt_every ~crash_at:k
+        ~mode ()
     in
-    let what = Printf.sprintf "crash@%d/%s" k (match mode with
-      | Mem.Clean -> "clean" | Mem.Torn -> "torn")
+    let what = Printf.sprintf "crash@%d/%s/seeds+%d" k (match mode with
+      | Mem.Clean -> "clean" | Mem.Torn -> "torn") seed_base
     in
     if outcome.crashed then ignore (recover_and_verify ?config ~what ~outcome fs)
     else
@@ -73,13 +76,22 @@ let sweep ~mode ~ckpt_every ~config () =
       ignore (recover_and_verify ?config ~what ~outcome fs)
   done
 
+(* Torn page fates are drawn from the store RNG, so each torn sweep
+   runs under several independent seed bases — one draw proves little
+   about the space of partial-page outcomes. *)
+let torn_seed_bases = [ 0; 10_000; 20_000 ]
+let torn_sweep ~ckpt_every ~config () =
+  List.iter
+    (fun seed_base -> sweep ~seed_base ~mode:Mem.Torn ~ckpt_every ~config ())
+    torn_seed_bases
+
 let test_sweep_clean_no_ckpt () = sweep ~mode:Mem.Clean ~ckpt_every:0 ~config:None ()
-let test_sweep_torn_no_ckpt () = sweep ~mode:Mem.Torn ~ckpt_every:0 ~config:None ()
+let test_sweep_torn_no_ckpt () = torn_sweep ~ckpt_every:0 ~config:None ()
 let test_sweep_clean_ckpt () = sweep ~mode:Mem.Clean ~ckpt_every:4 ~config:None ()
-let test_sweep_torn_ckpt () = sweep ~mode:Mem.Torn ~ckpt_every:4 ~config:None ()
+let test_sweep_torn_ckpt () = torn_sweep ~ckpt_every:4 ~config:None ()
 
 let test_sweep_torn_ckpt_retained () =
-  sweep ~mode:Mem.Torn ~ckpt_every:3
+  torn_sweep ~ckpt_every:3
     ~config:(Some { Smalldb.default_config with retain_previous = true })
     ()
 
@@ -181,6 +193,132 @@ let test_randomized_torn_storm () =
     ignore (recover_and_verify ~what ~outcome fs)
   done
 
+(* ------------------------------------------------------------------ *)
+(* Fault-schedule sweeps (§4's hard errors, exhaustively).
+
+   Unlike a crash, an injected I/O fault leaves the process running, so
+   the property is about the engine's *answer*: every schedule must end
+   in one of the sanctioned outcomes — the update committed and
+   survives reopen, was cleanly rejected with the engine healthy and no
+   partial effects, or the engine reports itself Degraded/Poisoned.
+   Never a silent wrong answer; and the post-fault query/update below
+   double as a leaked-lock check (they would deadlock on one). *)
+
+module Fault = Sdb_storage.Fault_fs
+
+let test_fault_schedule_sweep () =
+  List.iter
+    (fun (op, op_name) ->
+      let rec at k =
+        let store = Mem.create_store ~seed:(5000 + k) () in
+        let ctl, ffs = Fault.wrap ~seed:k (Mem.fs store) in
+        let db = KVDb.open_exn ffs in
+        Fault.fail_nth ctl ~op ~n:k ();
+        let applied = ref 0 in
+        let faulted =
+          try
+            for i = 0 to 9 do
+              KVDb.update db (sequenced_update i);
+              incr applied;
+              if i = 4 then KVDb.checkpoint db
+            done;
+            false
+          with Fs.Io_error _ -> true
+        in
+        Fault.clear ctl;
+        let what = Printf.sprintf "%s fault@%d" op_name k in
+        (match KVDb.health db with
+        | `Healthy ->
+          (* No silent wrong answer: memory is exactly the committed
+             prefix, and a clean reject leaves the engine updatable. *)
+          check Alcotest.int (what ^ " prefix") !applied (sequenced_prefix db);
+          if faulted then begin
+            KVDb.update db (sequenced_update !applied);
+            incr applied
+          end;
+          KVDb.close db
+        | `Poisoned -> KVDb.close db
+        | `Degraded _ -> Alcotest.fail (what ^ ": unexpected degraded"));
+        (* Whatever happened in memory, the disk must recover to a clean
+           prefix containing every committed update. *)
+        ignore
+          (recover_and_verify ~what
+             ~outcome:{ committed = !applied; crashed = faulted }
+             (Mem.fs store));
+        if faulted then at (k + 1)
+      in
+      at 1)
+    [ (`Write, "write"); (`Sync, "fsync") ]
+
+(* Capacity sweep: run the workload under every disk-size budget from
+   tiny to ample.  The engine must either finish, or park itself in
+   read-only Degraded mode with the committed prefix intact — and once
+   space turns up it must recover on its own and finish the workload. *)
+let test_capacity_sweep () =
+  let full =
+    let store = Mem.create_store ~seed:6000 () in
+    let db = KVDb.open_exn (Mem.fs store) in
+    for i = 0 to 9 do
+      KVDb.update db (sequenced_update i);
+      if i = 4 then KVDb.checkpoint db
+    done;
+    KVDb.close db;
+    Mem.total_bytes store
+  in
+  let degraded_seen = ref 0 in
+  let step = max 7 (full / 40) in
+  let cap = ref 1 in
+  while !cap <= full do
+    let store = Mem.create_store ~seed:(6000 + !cap) () in
+    let fs = Mem.fs store in
+    Mem.set_capacity store (Some !cap);
+    (match KVDb.open_ fs with
+    | exception Fs.No_space _ -> () (* too small to even create the store *)
+    | Error _ -> ()
+    | Ok db ->
+      let applied = ref 0 in
+      let stopped =
+        try
+          for i = 0 to 9 do
+            KVDb.update db (sequenced_update i);
+            incr applied;
+            if i = 4 then KVDb.checkpoint db
+          done;
+          false
+        with
+        | Smalldb.Degraded _ ->
+          incr degraded_seen;
+          true
+        | Fs.No_space _ -> true (* a cleanly refused checkpoint *)
+      in
+      let what = Printf.sprintf "capacity %d" !cap in
+      (* Read-only at worst: the committed prefix is served unharmed. *)
+      check Alcotest.int (what ^ " prefix") !applied (sequenced_prefix db);
+      if stopped then begin
+        (* Space turns up; the engine must exit degraded mode by itself
+           (checkpointing to reclaim the log) and finish the workload. *)
+        Mem.set_capacity store None;
+        let deadline = Unix.gettimeofday () +. 5. in
+        let i = ref !applied in
+        while !i <= 9 do
+          match KVDb.update db (sequenced_update !i) with
+          | () -> incr i
+          | exception Smalldb.Degraded _ ->
+            if Unix.gettimeofday () > deadline then
+              Alcotest.fail (what ^ ": never exited degraded mode");
+            Thread.delay 0.02
+        done
+      end;
+      check Alcotest.int (what ^ " finished") 10 (sequenced_prefix db);
+      (match KVDb.health db with
+      | `Healthy -> ()
+      | _ -> Alcotest.fail (what ^ ": unhealthy at end"));
+      KVDb.close db);
+    cap := !cap + step
+  done;
+  Alcotest.check Alcotest.bool "sweep exercised degraded mode" true
+    (!degraded_seen > 0)
+
 (* Model-based property: any interleaving of updates, deletes,
    checkpoints and clean restarts leaves the store equal to a Hashtbl
    model — the engine's replay path is exercised at arbitrary points in
@@ -245,6 +383,12 @@ let () =
           Alcotest.test_case "torn, with checkpoints" `Quick test_sweep_torn_ckpt;
           Alcotest.test_case "torn, checkpoints, retention" `Quick
             test_sweep_torn_ckpt_retained;
+        ] );
+      ( "fault-schedules",
+        [
+          Alcotest.test_case "write and fsync fault sweep" `Quick
+            test_fault_schedule_sweep;
+          Alcotest.test_case "capacity sweep" `Quick test_capacity_sweep;
         ] );
       ("model", [ prop_engine_matches_model ]);
       ( "edges",

@@ -286,6 +286,95 @@ let test_outbox_overflow_marks_lagging () =
   | _ -> Alcotest.fail "one peer");
   Replica.shutdown a.replica
 
+let test_repair_from_peer_after_refused_open () =
+  (* The §4 story end to end: interior damage in the previous
+     generation's log (with valid entries beyond it) makes the
+     hard-error fallback refuse the store outright — and
+     [repair_from_peer] then rebuilds that same store from a healthy
+     replica, digest-verified. *)
+  let module Store = Sdb_checkpoint.Checkpoint_store in
+  let retain = { Smalldb.default_config with retain_previous = true } in
+  let big = String.make 2000 'v' in
+  let apply ns =
+    for i = 0 to 4 do
+      Ns.set_value ns (p (Printf.sprintf "/k%d" i)) (Some big)
+    done
+  in
+  (* The victim: data across two generations, previous retained. *)
+  let vstore = Mem.create_store ~seed:41 () in
+  let vfs = Mem.fs vstore in
+  let victim = Ns.open_exn ~config:retain vfs in
+  apply victim;
+  Ns.checkpoint victim;
+  Ns.set_value victim (p "/after") (Some "ckpt");
+  Ns.close victim;
+  (* The healthy peer holds the same data (it had all propagated). *)
+  let peer = make_cell "peer" 42 in
+  apply peer.ns;
+  Ns.set_value peer.ns (p "/after") (Some "ckpt");
+  (* A hard error in the current checkpoint forces the fallback path;
+     interior damage in the retained log makes the fallback refuse
+     rather than silently drop the entries beyond it. *)
+  Mem.damage vstore ~file:(Store.checkpoint_file 1) ~offset:100 ~len:50;
+  Mem.damage vstore ~file:(Store.log_file 0) ~offset:2500 ~len:100;
+  (match Ns.open_ ~config:retain vfs with
+  | Ok _ -> Alcotest.fail "damaged store opened anyway"
+  | Error _ -> ());
+  (* Repair the same store in place from the peer. *)
+  let client_t, server_t = Rpc.Inproc.pair () in
+  let thread = Thread.create (fun () -> Proto.serve peer.ns server_t) () in
+  let client = Proto.Client.create client_t in
+  (match Replica.repair_from_peer ~config:retain client vfs with
+  | Error e -> Alcotest.fail e
+  | Ok repaired ->
+    check Alcotest.(option string) "value restored" (Some big)
+      (Ns.lookup repaired (p "/k3"));
+    check Alcotest.string "digest matches the healthy peer"
+      (Replica.digest peer.ns) (Replica.digest repaired);
+    let r = Ns.scrub repaired in
+    check Alcotest.int "scrub clean after repair" 0
+      (List.length r.Smalldb.findings);
+    check Alcotest.bool "replay consistent" true r.Smalldb.replay_consistent;
+    (* The repaired store is durable on its own disk. *)
+    Ns.close repaired;
+    let reopened = Ns.open_exn ~config:retain vfs in
+    check Alcotest.(option string) "durable" (Some "ckpt")
+      (Ns.lookup reopened (p "/after"));
+    Ns.close reopened);
+  Proto.Client.close client;
+  server_t.Rpc.Transport.close ();
+  Thread.join thread;
+  teardown peer
+
+let test_scrub_and_health_rpc () =
+  (* The scrub verb over the wire: a served name server can be scrubbed
+     and health-checked remotely. *)
+  let a = make_cell "a" 51 in
+  Ns.set_value a.ns (p "/x") (Some "1");
+  let client_t, server_t = Rpc.Inproc.pair () in
+  let thread = Thread.create (fun () -> Proto.serve a.ns server_t) () in
+  let client = Proto.Client.create client_t in
+  (match Proto.Client.health client with
+  | `Healthy -> ()
+  | _ -> Alcotest.fail "expected healthy over rpc");
+  let r = Proto.Client.scrub client ~repair:false in
+  check Alcotest.int "clean over rpc" 0 (List.length r.Smalldb.findings);
+  check Alcotest.bool "consistent over rpc" true r.Smalldb.replay_consistent;
+  (* Damage the log; a repairing scrub over the wire fixes it. *)
+  let gen = (Ns.stats a.ns).Smalldb.generation in
+  Mem.damage a.store ~file:(Sdb_checkpoint.Checkpoint_store.log_file gen)
+    ~offset:30 ~len:4;
+  let r2 = Proto.Client.scrub client ~repair:true in
+  check Alcotest.bool "damage seen over rpc" true (r2.Smalldb.findings <> []);
+  check Alcotest.bool "repaired over rpc" true r2.Smalldb.repaired;
+  let r3 = Proto.Client.scrub client ~repair:false in
+  check Alcotest.int "clean after remote repair" 0
+    (List.length r3.Smalldb.findings);
+  Proto.Client.close client;
+  server_t.Rpc.Transport.close ();
+  Thread.join thread;
+  teardown a
+
 let () =
   Helpers.run "replica"
     [
@@ -313,5 +402,11 @@ let () =
           Alcotest.test_case "converged_with" `Quick test_converged_with;
         ] );
       ( "hard-errors",
-        [ Alcotest.test_case "clone from peer" `Quick test_clone_from_peer ] );
+        [
+          Alcotest.test_case "clone from peer" `Quick test_clone_from_peer;
+          Alcotest.test_case "repair_from_peer after refused open" `Quick
+            test_repair_from_peer_after_refused_open;
+          Alcotest.test_case "scrub and health over rpc" `Quick
+            test_scrub_and_health_rpc;
+        ] );
     ]

@@ -218,6 +218,153 @@ let test_damage_and_heal () =
   h.Fs.rw_close ();
   check Alcotest.int "healed" 100 (String.length (read fs "f"))
 
+(* ------------------------------------------------------------------ *)
+(* Capacity budget (mem)                                               *)
+
+let test_mem_capacity () =
+  let store, fs = mem () in
+  write fs "a" (String.make 80 'a');
+  Mem.set_capacity store (Some 100);
+  (* Within budget. *)
+  let w = fs.Fs.open_append "a" in
+  w.Fs.w_write (String.make 20 'b');
+  w.Fs.w_sync ();
+  (* Over budget: all-or-nothing — the file must be untouched. *)
+  (match w.Fs.w_write "x" with
+  | _ -> Alcotest.fail "expected No_space"
+  | exception Fs.No_space { file; needed; available } ->
+    check Alcotest.string "file" "a" file;
+    check Alcotest.int "needed" 1 needed;
+    check Alcotest.int "available" 0 available);
+  check Alcotest.int "file unchanged" 100 (fs.Fs.file_size "a");
+  (* Overwrites that do not grow the file still fit. *)
+  let h = fs.Fs.open_random "a" in
+  h.Fs.pwrite ~off:0 "ZZZZ";
+  (match h.Fs.pwrite ~off:98 "1234" with
+  | _ -> Alcotest.fail "expected No_space"
+  | exception Fs.No_space { needed; _ } -> check Alcotest.int "growth" 2 needed);
+  check Alcotest.int "still 100 bytes" 100 (fs.Fs.file_size "a");
+  h.Fs.rw_close ();
+  w.Fs.w_close ();
+  (* Lifting the cap unblocks. *)
+  Mem.set_capacity store None;
+  let w = fs.Fs.open_append "a" in
+  w.Fs.w_write "more";
+  w.Fs.w_close ();
+  check Alcotest.int "cap lifted" 104 (fs.Fs.file_size "a")
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injecting decorator                                           *)
+
+module Fault = Sdb_storage.Fault_fs
+
+let fault_mem ?seed () =
+  let store = Mem.create_store ~seed:7 () in
+  let ctl, fs = Fault.wrap ?seed (Mem.fs store) in
+  (store, ctl, fs)
+
+let test_fault_fail_nth_write () =
+  let _store, ctl, fs = fault_mem () in
+  let w = fs.Fs.create "f" in
+  w.Fs.w_write "one";
+  (* writes seen so far: 1.  Fail the next one, permanently-flavoured. *)
+  Fault.fail_nth ctl ~op:`Write ~n:1 ();
+  (match w.Fs.w_write "two" with
+  | _ -> Alcotest.fail "expected Io_error"
+  | exception Fs.Io_error { op; file; errno; _ } ->
+    check Alcotest.string "op" "write" op;
+    check Alcotest.(option string) "file" (Some "f") file;
+    check Alcotest.bool "errno EIO" true (errno = Some Unix.EIO);
+    check Alcotest.bool "permanent" false
+      (match errno with Some e -> Fs.errno_transient e | None -> false));
+  (* The faulted write never reached the store. *)
+  w.Fs.w_write "three";
+  w.Fs.w_sync ();
+  w.Fs.w_close ();
+  check Alcotest.string "fault was all-or-nothing" "onethree" (read fs "f");
+  check Alcotest.int "one injected" 1 (Fault.injected ctl)
+
+let test_fault_transient_errno () =
+  let _store, ctl, fs = fault_mem () in
+  let w = fs.Fs.create "f" in
+  Fault.fail_nth ctl ~op:`Sync ~n:1 ~errno:Unix.EINTR ();
+  (match w.Fs.w_sync () with
+  | _ -> Alcotest.fail "expected Io_error"
+  | exception Fs.Io_error { op; errno; _ } ->
+    check Alcotest.string "op" "fsync" op;
+    check Alcotest.bool "transient" true
+      (match errno with Some e -> Fs.errno_transient e | None -> false));
+  (* A retry succeeds: the fault was one-shot. *)
+  w.Fs.w_write "x";
+  w.Fs.w_sync ();
+  w.Fs.w_close ()
+
+let test_fault_read () =
+  let _store, ctl, fs = fault_mem () in
+  write fs "f" "0123456789";
+  Fault.fail_nth ctl ~op:`Read ~n:2 ();
+  let r = fs.Fs.open_reader "f" in
+  let buf = Bytes.create 4 in
+  ignore (r.Fs.r_read buf 0 4);
+  (match r.Fs.r_read buf 0 4 with
+  | _ -> Alcotest.fail "expected Read_error"
+  | exception Fs.Read_error { file; _ } -> check Alcotest.string "file" "f" file);
+  (* Reads past the one-shot fault work again. *)
+  ignore (r.Fs.r_read buf 0 4);
+  r.Fs.r_close ()
+
+let test_fault_count_and_ops () =
+  let _store, ctl, fs = fault_mem () in
+  let w = fs.Fs.create "f" in
+  Fault.fail_nth ctl ~op:`Write ~n:2 ~count:2 ();
+  w.Fs.w_write "a";
+  (* 1: ok *)
+  (match w.Fs.w_write "b" with
+  | _ -> Alcotest.fail "expected fault 1"
+  | exception Fs.Io_error _ -> ());
+  (match w.Fs.w_write "c" with
+  | _ -> Alcotest.fail "expected fault 2"
+  | exception Fs.Io_error _ -> ());
+  w.Fs.w_write "d";
+  w.Fs.w_close ();
+  check Alcotest.int "writes counted" 4 (Fault.ops ctl ~op:`Write);
+  check Alcotest.int "two injected" 2 (Fault.injected ctl)
+
+let test_fault_rate_deterministic () =
+  (* rate 1.0 always fails; rate 0.0 never; same seed, same choices. *)
+  let _store, ctl, fs = fault_mem ~seed:42 () in
+  let w = fs.Fs.create "f" in
+  Fault.set_fault_rate ctl ~op:`Write 1.0;
+  (match w.Fs.w_write "x" with
+  | _ -> Alcotest.fail "expected rate fault"
+  | exception Fs.Io_error _ -> ());
+  Fault.set_fault_rate ctl ~op:`Write 0.0;
+  w.Fs.w_write "y";
+  Fault.clear ctl;
+  w.Fs.w_sync ();
+  w.Fs.w_close ();
+  check Alcotest.string "only unfaulted writes landed" "y" (read fs "f")
+
+let test_fault_capacity () =
+  let _store, ctl, fs = fault_mem () in
+  write fs "a" (String.make 90 'a');
+  Fault.set_capacity ctl (Some 100);
+  let w = fs.Fs.open_append "a" in
+  w.Fs.w_write (String.make 10 'b');
+  (match w.Fs.w_write "!" with
+  | _ -> Alcotest.fail "expected No_space"
+  | exception Fs.No_space { file; needed; available } ->
+    check Alcotest.string "file" "a" file;
+    check Alcotest.int "needed" 1 needed;
+    check Alcotest.int "available" 0 available);
+  w.Fs.w_sync ();
+  w.Fs.w_close ();
+  check Alcotest.int "all-or-nothing" 100 (fs.Fs.file_size "a");
+  Fault.set_capacity ctl None;
+  let w = fs.Fs.open_append "a" in
+  w.Fs.w_write "ok";
+  w.Fs.w_close ()
+
 let test_counters () =
   let _store, fs = mem () in
   Fs.Counters.reset fs.Fs.counters;
@@ -296,6 +443,18 @@ let () =
       ( "faults",
         [
           Alcotest.test_case "damage and heal" `Quick test_damage_and_heal;
+          Alcotest.test_case "mem capacity budget" `Quick test_mem_capacity;
+          Alcotest.test_case "fault_fs fail_nth write" `Quick
+            test_fault_fail_nth_write;
+          Alcotest.test_case "fault_fs transient errno" `Quick
+            test_fault_transient_errno;
+          Alcotest.test_case "fault_fs read fault" `Quick test_fault_read;
+          Alcotest.test_case "fault_fs count and ops" `Quick
+            test_fault_count_and_ops;
+          Alcotest.test_case "fault_fs rate deterministic" `Quick
+            test_fault_rate_deterministic;
+          Alcotest.test_case "fault_fs capacity budget" `Quick
+            test_fault_capacity;
         ] );
       ( "accounting",
         [
