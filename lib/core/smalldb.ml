@@ -14,6 +14,12 @@ module Trace = Sdb_obs.Trace
 let m_updates =
   Metrics.counter "sdb_updates_total" ~help:"Updates committed by the engine."
 
+let m_group_size =
+  Metrics.histogram "sdb_group_commit_size"
+    ~help:"Updates committed per group flush (amortization factor of the \
+           shared fsync; sdb_wal_syncs_total / sdb_updates_total is the \
+           fsyncs-per-update ratio)."
+
 let phase_hist phase =
   Metrics.histogram "sdb_update_phase_seconds"
     ~help:"Per-update phase latency (the paper's E2 breakdown)."
@@ -86,6 +92,9 @@ type config = {
   log_recovery : [ `Stop_at_damage | `Skip_damaged ];
   hard_error_fallback : bool;
   archive_logs : bool;
+  group_commit : bool;
+  max_group_delay : float;
+  max_group_bytes : int;
 }
 
 let default_config =
@@ -95,6 +104,9 @@ let default_config =
     log_recovery = `Stop_at_damage;
     hard_error_fallback = true;
     archive_logs = false;
+    group_commit = false;
+    max_group_delay = 0.002;
+    max_group_bytes = 1 lsl 20;
   }
 
 type phase_times = {
@@ -172,11 +184,41 @@ module Make (App : APP) = struct
   let codec_blob = Pickle.pair codec_meta App.codec_state
   let update_fp = Pickle.fingerprint App.codec_update
 
+  (* One group-commit participant: an update (or a whole batch) that
+     verified and pickled under the Update lock, joined the forming
+     group, and parks until the leader settles it. *)
+  type member_outcome =
+    | M_pending
+    | M_committed of int  (* the member's first LSN *)
+    | M_failed of exn
+
+  type member = {
+    m_updates : App.update list;
+    m_payloads : string list;
+    mutable m_outcome : member_outcome;
+  }
+
+  type group = {
+    mutable g_members : member list;  (* reverse join order *)
+    mutable g_bytes : int;  (* framed bytes the group will write *)
+    g_born : float;
+  }
+
   type t = {
     fs : Fs.t;
     config : config;
     lock : Vlock.t;
     ckpt_mutex : Mutex.t;  (* serializes checkpoints of both kinds *)
+    (* Group-commit coordinator: the forming group (joined under the
+       Update lock), the commit slot serializing leaders in formation
+       order, and the condition variable members park on — all guarded
+       by [gc_mutex]. *)
+    gc_mutex : Mutex.t;
+    gc_cond : Condition.t;
+    mutable gc_forming : group option;
+    mutable gc_committing : bool;
+    (* reusable pickle scratch; guarded by the Update lock *)
+    pickle_buf : Buffer.t;
     mutable state : App.state;
     mutable wal : Wal.Writer.t;
     mutable generation : int;
@@ -240,6 +282,11 @@ module Make (App : APP) = struct
       config;
       lock = Vlock.create ();
       ckpt_mutex = Mutex.create ();
+      gc_mutex = Mutex.create ();
+      gc_cond = Condition.create ();
+      gc_forming = None;
+      gc_committing = false;
+      pickle_buf = Buffer.create 256;
       state;
       wal;
       generation;
@@ -663,6 +710,274 @@ module Make (App : APP) = struct
     List.iter (fun (_, f) -> f lsn u) subs
 
   (* ---------------------------------------------------------------- *)
+  (* Group commit (§4d)                                                *)
+
+  let payload_bytes ps =
+    List.fold_left
+      (fun acc p -> acc + String.length p + Wal.frame_overhead)
+      0 ps
+
+  let is_pending m = match m.m_outcome with M_pending -> true | _ -> false
+
+  (* Wake every still-pending member with its outcome.  Every leader
+     path calls this exactly once, before notifications run. *)
+  let wake_group t members outcome_of =
+    Mutex.lock t.gc_mutex;
+    List.iter
+      (fun m -> if is_pending m then m.m_outcome <- outcome_of m)
+      members;
+    Condition.broadcast t.gc_cond;
+    Mutex.unlock t.gc_mutex
+
+  let release_slot t =
+    Mutex.lock t.gc_mutex;
+    t.gc_committing <- false;
+    Condition.broadcast t.gc_cond;
+    Mutex.unlock t.gc_mutex
+
+  (* The group leader: the updater that created the forming group.
+     It (1) claims the commit slot, so groups commit in formation
+     order; (2) lingers up to [max_group_delay] while updaters are
+     still queued on the Update lock — each will verify, pickle and
+     join within its next quantum — or until [max_group_bytes] of
+     frames have gathered; (3) takes the Update lock and seals the
+     group (members join under that same lock, so from here the member
+     list is final and nothing else can touch the writer's staging
+     buffer); (4) stages every member's frames and emits them with one
+     write + one fsync; (5) upgrades to Exclusive once and applies the
+     whole group in stage order, assigning dense LSNs; (6) wakes the
+     group and notifies subscribers in LSN order.
+
+     The §4b/§4c failure taxonomy carries over member-wise:
+     - poisoned/closed at seal time: members fail with
+       [Poisoned]/[Closed]; nothing was staged;
+     - a frame rejected at stage time (oversized payload): nothing on
+       disk, the whole group fails with that exception, engine usable;
+     - [No_space] on the group append: all-or-nothing, so nothing
+       committed — enter degraded (read-only) mode and fail every
+       member with [Degraded];
+     - any other rolled-back group write: the log was restored, fail
+       every member with the cause, engine stays usable;
+     - a failed fsync: an unknown prefix of the group may be durable —
+       poison (fsyncgate: never retried), parked members fail with
+       [Poisoned], the leader re-raises the original failure;
+     - a failing [apply]: poison (a committed update must apply).
+
+     The leader raises its own failure exactly as a solo updater
+     would; it returns normally only when the whole group committed. *)
+  let lead t (g : group) =
+    Mutex.lock t.gc_mutex;
+    while t.gc_committing do
+      Condition.wait t.gc_cond t.gc_mutex
+    done;
+    t.gc_committing <- true;
+    Mutex.unlock t.gc_mutex;
+    Fun.protect ~finally:(fun () -> release_slot t) @@ fun () ->
+    (* Linger.  The stdlib has no timed condition wait, so poll: an
+       idle lock exits immediately (a solo update pays no delay). *)
+    let deadline = g.g_born +. t.config.max_group_delay in
+    let group_bytes () =
+      Mutex.lock t.gc_mutex;
+      let b = g.g_bytes in
+      Mutex.unlock t.gc_mutex;
+      b
+    in
+    while
+      now () < deadline
+      && group_bytes () < t.config.max_group_bytes
+      && (Vlock.waiting t.lock).Vlock.waiting_update > 0
+    do
+      Thread.yield ()
+    done;
+    Vlock.acquire t.lock Vlock.Update;
+    let held = ref (Some Vlock.Update) in
+    let release () =
+      match !held with
+      | Some mode ->
+        held := None;
+        Vlock.release t.lock mode
+      | None -> ()
+    in
+    (* Seal: late arrivals will form (and lead) the next group. *)
+    Mutex.lock t.gc_mutex;
+    t.gc_forming <- None;
+    let members = List.rev g.g_members in
+    Mutex.unlock t.gc_mutex;
+    let fail_all ?(poison = false) ~leader member_exn =
+      if poison then t.poisoned <- true;
+      release ();
+      wake_group t members (fun _ -> M_failed member_exn);
+      raise leader
+    in
+    match
+      if t.closed then fail_all ~leader:Closed Closed;
+      if t.poisoned then fail_all ~leader:Poisoned Poisoned;
+      (match
+         List.iter
+           (fun m -> List.iter (Wal.Writer.stage t.wal) m.m_payloads)
+           members
+       with
+      | () -> ()
+      | exception e ->
+        Wal.Writer.discard_group t.wal;
+        fail_all ~leader:e e);
+      let t1 = now () in
+      (try ignore (Wal.Writer.flush_group t.wal : int * int) with
+      | Wal.Append_rolled_back (Fs.No_space _ as cause) ->
+        let reason = Fs.describe_exn cause in
+        enter_degraded t reason;
+        fail_all ~leader:(Degraded reason) (Degraded reason)
+      | Wal.Append_rolled_back cause -> fail_all ~leader:cause cause
+      | e -> fail_all ~poison:true ~leader:e Poisoned);
+      let t2 = now () in
+      t.t_log <- t.t_log +. (t2 -. t1);
+      Metrics.observe m_phase_log (t2 -. t1);
+      if Trace.active () then
+        Trace.span "update.log"
+          ~attrs:
+            [
+              ("app", App.name);
+              ("group_size", string_of_int (List.length members));
+            ]
+          ~start_s:t1 ~dur_s:(t2 -. t1);
+      Vlock.upgrade t.lock;
+      held := Some Vlock.Exclusive;
+      (try
+         let t0 = now () in
+         List.iter
+           (fun m ->
+             List.iter (fun u -> t.state <- App.apply t.state u) m.m_updates)
+           members;
+         let da = now () -. t0 in
+         t.t_apply <- t.t_apply +. da;
+         Metrics.observe m_phase_apply da
+       with e -> fail_all ~poison:true ~leader:e Poisoned);
+      let base = t.lsn in
+      let assigned =
+        List.map
+          (fun m ->
+            let first = t.lsn in
+            t.lsn <- t.lsn + List.length m.m_updates;
+            (m, first))
+          members
+      in
+      let n_total = t.lsn - base in
+      t.committed <- t.committed + n_total;
+      t.since_ckpt <- t.since_ckpt + n_total;
+      Metrics.add m_updates n_total;
+      Metrics.observe m_group_size (float_of_int n_total);
+      release ();
+      wake_group t members (fun m -> M_committed (List.assq m assigned));
+      assigned
+    with
+    | exception e ->
+      (* Belt and braces: no leader path above may leave a member
+         parked forever.  Anything unexpected (every expected failure
+         went through [fail_all] and settled the group already) still
+         wakes the group, poisoned. *)
+      if List.exists is_pending members then begin
+        t.poisoned <- true;
+        release ();
+        wake_group t members (fun _ -> M_failed Poisoned)
+      end;
+      raise e
+    | assigned ->
+      (* Subscribers see the group in stage order with dense LSNs,
+         exactly as if the members had committed one by one.  The
+         commit slot is still held, so groups notify in LSN order; a
+         raising subscriber propagates to the leader's caller (the
+         whole group is already durable, applied, and awake). *)
+      List.iter
+        (fun (m, first) ->
+          List.iteri (fun i u -> notify t (first + i) u) m.m_updates)
+        assigned;
+      maybe_auto_checkpoint t
+
+  (* One participant: verify + pickle under the Update lock, join the
+     forming group (or create it and become the leader), release the
+     lock, then park for the outcome — or lead the commit.  A raising
+     [verify] or pickler propagates with the lock released and nothing
+     joined: it fails only its own member, before staging. *)
+  let group_commit t ~verify updates =
+    check_updatable t;
+    Vlock.acquire t.lock Vlock.Update;
+    let held = ref (Some Vlock.Update) in
+    let joined =
+      Fun.protect
+        ~finally:(fun () ->
+          match !held with
+          | Some mode ->
+            held := None;
+            Vlock.release t.lock mode
+          | None -> ())
+        (fun () ->
+          let traced = Trace.active () in
+          let t0 = now () in
+          let v = verify t.state in
+          let dv = now () -. t0 in
+          t.t_verify <- t.t_verify +. dv;
+          Metrics.observe m_phase_verify dv;
+          if traced then
+            Trace.span "update.verify"
+              ~attrs:[ ("app", App.name) ]
+              ~start_s:t0 ~dur_s:dv;
+          match v with
+          | Error e -> Error e
+          | Ok () ->
+            let t1 = now () in
+            let payloads =
+              List.map
+                (fun u ->
+                  Buffer.clear t.pickle_buf;
+                  Pickle.encode_into t.pickle_buf App.codec_update u;
+                  Buffer.contents t.pickle_buf)
+                updates
+            in
+            let dp = now () -. t1 in
+            t.t_pickle <- t.t_pickle +. dp;
+            Metrics.observe m_phase_pickle dp;
+            let m =
+              { m_updates = updates; m_payloads = payloads; m_outcome = M_pending }
+            in
+            Mutex.lock t.gc_mutex;
+            let lead_group =
+              match t.gc_forming with
+              | Some g ->
+                g.g_members <- m :: g.g_members;
+                g.g_bytes <- g.g_bytes + payload_bytes payloads;
+                None
+              | None ->
+                let g =
+                  {
+                    g_members = [ m ];
+                    g_bytes = payload_bytes payloads;
+                    g_born = now ();
+                  }
+                in
+                t.gc_forming <- Some g;
+                Some g
+            in
+            Mutex.unlock t.gc_mutex;
+            Ok (m, lead_group))
+    in
+    match joined with
+    | Error e -> Error e
+    | Ok (_, Some g) ->
+      lead t g;
+      Ok ()
+    | Ok (m, None) ->
+      Mutex.lock t.gc_mutex;
+      while is_pending m do
+        Condition.wait t.gc_cond t.gc_mutex
+      done;
+      let o = m.m_outcome in
+      Mutex.unlock t.gc_mutex;
+      (match o with
+      | M_committed _ -> Ok ()
+      | M_failed e -> raise e
+      | M_pending -> assert false)
+
+  (* ---------------------------------------------------------------- *)
   (* Enquiries and updates                                             *)
 
   let query t f =
@@ -687,8 +1002,13 @@ module Make (App : APP) = struct
      threads wake up and observe [Poisoned] instead of deadlocking.
      The [held] ref tracks the mode currently owned; the [Fun.protect]
      finalizer releases whatever is still held on any exceptional
-     exit. *)
-  let update_checked t ~precondition u =
+     exit.
+
+     With [config.group_commit] the same three steps run, but the log
+     write is delegated to the group-commit coordinator above: this
+     thread verifies and pickles under the Update lock, then parks
+     while a leader shares one fsync across every concurrent update. *)
+  let update_solo t ~precondition u =
     check_updatable t;
     Vlock.acquire t.lock Vlock.Update;
     let held = ref (Some Vlock.Update) in
@@ -720,8 +1040,11 @@ module Make (App : APP) = struct
           | Error e -> Error e
           | Ok () ->
             (let t0 = now () in
-             (* A raising pickler likewise: nothing is on disk yet. *)
-             let payload = Pickle.encode App.codec_update u in
+             (* A raising pickler likewise: nothing is on disk yet.
+                The scratch buffer is guarded by the Update lock. *)
+             Buffer.clear t.pickle_buf;
+             Pickle.encode_into t.pickle_buf App.codec_update u;
+             let payload = Buffer.contents t.pickle_buf in
              let t1 = now () in
              (try ignore (Wal.Writer.append_sync t.wal payload)
               with
@@ -785,6 +1108,10 @@ module Make (App : APP) = struct
     (match verdict with Ok () -> maybe_auto_checkpoint t | Error _ -> ());
     verdict
 
+  let update_checked t ~precondition u =
+    if t.config.group_commit then group_commit t ~verify:precondition [ u ]
+    else update_solo t ~precondition u
+
   let update t u =
     match update_checked t ~precondition:(fun _ -> Ok ()) u with
     | Ok () -> ()
@@ -792,10 +1119,18 @@ module Make (App : APP) = struct
 
   (* Same lock discipline as [update_checked]: pickling failures
      release (nothing committed), log/apply failures poison and
-     release. *)
+     release.  Under [group_commit] the whole batch rides as a single
+     group member: its frames stay contiguous in stage order and share
+     the group's one fsync. *)
   let update_batch t updates =
-    check_updatable t;
-    if updates <> [] then begin
+    if updates = [] then check_updatable t
+    else if t.config.group_commit then begin
+      match group_commit t ~verify:(fun _ -> Ok ()) updates with
+      | Ok () -> ()
+      | Error (_ : unit) -> assert false
+    end
+    else begin
+      check_updatable t;
       Vlock.acquire t.lock Vlock.Update;
       let held = ref (Some Vlock.Update) in
       Fun.protect
@@ -807,7 +1142,14 @@ module Make (App : APP) = struct
           | None -> ())
         (fun () ->
           (let t0 = now () in
-           let payloads = List.map (Pickle.encode App.codec_update) updates in
+           let payloads =
+             List.map
+               (fun u ->
+                 Buffer.clear t.pickle_buf;
+                 Pickle.encode_into t.pickle_buf App.codec_update u;
+                 Buffer.contents t.pickle_buf)
+               updates
+           in
            let t1 = now () in
            (try
               List.iter (fun p -> ignore (Wal.Writer.append t.wal p)) payloads;

@@ -62,11 +62,25 @@ type config = {
   archive_logs : bool;
       (** keep superseded logs as [archive-logfile<N>] — §4's complete
           audit trail, consumed through {!Make.History} *)
+  group_commit : bool;
+      (** commit concurrent updates as a group sharing one log write
+          and one fsync (DESIGN.md §4d).  Identical durability and
+          failure semantics per update; throughput under concurrent
+          updaters is no longer capped at 1/fsync-latency *)
+  max_group_delay : float;
+      (** longest time (seconds) a group leader lingers for more
+          updaters to join before committing the group; a solo update
+          with nobody queued commits immediately, paying no delay *)
+  max_group_bytes : int;
+      (** a group that has gathered this many framed log bytes commits
+          without lingering further *)
 }
 
 val default_config : config
 (** [retain_previous = false], [Manual], [`Stop_at_damage],
-    [hard_error_fallback = true], [archive_logs = false]. *)
+    [hard_error_fallback = true], [archive_logs = false],
+    [group_commit = false], [max_group_delay = 0.002],
+    [max_group_bytes = 1 MiB]. *)
 
 (** Cumulative per-phase timings (seconds) backing the E2/E3/E4 cost
     breakdowns; maintained with two clock reads per phase. *)
@@ -180,14 +194,25 @@ module Make (App : APP) : sig
       [App.apply] also releases the lock but first poisons the engine
       ({!Poisoned}), because memory and disk may now disagree.  A
       raising subscriber propagates to the caller after the update is
-      already durable and applied, with no lock held. *)
+      already durable and applied, with no lock held.
+
+      With [config.group_commit], concurrent callers share one log
+      write and one fsync (DESIGN.md §4d).  The contract is unchanged
+      per update: the precondition still runs under the Update lock
+      against the pre-group state; a failing precondition or raising
+      pickler fails only this call; a group-wide log failure fails
+      every member with the same taxonomy as above ([Degraded] on
+      no-space, the rolled-back cause on a restored write error,
+      {!Poisoned} after a failed fsync). *)
 
   val update_batch : t -> App.update list -> unit
-  (** Group commit: all entries appended, one fsync (§5's "multiple
-      commit records in a single log entry" optimisation).  Same
-      exception-safety contract as {!update_checked}: a raising pickler
-      releases and leaves the engine usable; a log or apply failure
-      poisons and releases. *)
+  (** One caller, many updates: all entries appended, one fsync (§5's
+      "multiple commit records in a single log entry" optimisation).
+      Same exception-safety contract as {!update_checked}: a raising
+      pickler releases and leaves the engine usable; a log or apply
+      failure poisons and releases.  With [config.group_commit] the
+      batch joins the forming group as a single member: its entries
+      stay contiguous in the log and share the group's one fsync. *)
 
   val checkpoint : t -> unit
   (** Write a checkpoint and reset the log.  Holds the update lock for

@@ -96,7 +96,7 @@ let fingerprint_hex c = Descr.fingerprint_hex c.d
 (* ------------------------------------------------------------------ *)
 (* Writer / reader helpers                                             *)
 
-let new_writer () = { buf = Buffer.create 256; share = Hashtbl.create 7; next_id = 0 }
+let new_writer buf = { buf; share = Hashtbl.create 7; next_id = 0 }
 let new_reader src = { src; pos = 0; slots = [||]; nslots = 0 }
 
 let share_find wr obj =
@@ -858,13 +858,17 @@ let shared_ref ~dummy inner =
 (* ------------------------------------------------------------------ *)
 (* Top level                                                           *)
 
-let encode codec v =
-  let wr = new_writer () in
+let encode_into buf codec v =
+  let wr = new_writer buf in
+  let base = Buffer.length buf in
   codec.w wr v;
-  let s = Buffer.contents wr.buf in
-  Counters.add Counters.pickled (String.length s);
-  Counters.add Counters.p_ops 1;
-  s
+  Counters.add Counters.pickled (Buffer.length buf - base);
+  Counters.add Counters.p_ops 1
+
+let encode codec v =
+  let buf = Buffer.create 256 in
+  encode_into buf codec v;
+  Buffer.contents buf
 
 let decode codec s =
   let rd = new_reader s in

@@ -165,6 +165,12 @@ val encode : 'a t -> 'a -> string
 (** Raw wire bytes, no header.  Use when the container (log, checkpoint
     file) stores the fingerprint once for many values. *)
 
+val encode_into : Buffer.t -> 'a t -> 'a -> unit
+(** {!encode}, appended to an existing buffer instead of allocating a
+    fresh string — the allocation-free commit path.  Each call is
+    self-contained: sharing ids restart, so the appended bytes decode
+    exactly like an {!encode} result. *)
+
 val decode : 'a t -> string -> 'a
 (** Inverse of {!encode}; requires the whole string to be consumed.
     Raises {!Error}. *)

@@ -15,7 +15,9 @@ type t = {
   mutable rate_read : float;
   mutable rate_write : float;
   mutable rate_sync : float;
-  mutable latency : float;
+  mutable lat_read : float;
+  mutable lat_write : float;
+  mutable lat_sync : float;
   mutable capacity : int option;
   mutable n_read : int;
   mutable n_write : int;
@@ -74,8 +76,14 @@ let check t op =
         end
         else None)
 
+let latency t = function
+  | `Read -> t.lat_read
+  | `Write -> t.lat_write
+  | `Sync -> t.lat_sync
+
 let intercept t op ~file k =
-  if t.latency > 0. then Unix.sleepf t.latency;
+  let lat = latency t op in
+  if lat > 0. then Unix.sleepf lat;
   match check t op with
   | Some errno -> (
     match op with
@@ -109,7 +117,9 @@ let wrap ?(seed = 0) inner =
       rate_read = 0.;
       rate_write = 0.;
       rate_sync = 0.;
-      latency = 0.;
+      lat_read = 0.;
+      lat_write = 0.;
+      lat_sync = 0.;
       capacity = None;
       n_read = 0;
       n_write = 0;
@@ -184,9 +194,16 @@ let set_fault_rate t ~op r =
       | `Write -> t.rate_write <- r
       | `Sync -> t.rate_sync <- r)
 
-let set_latency t s =
+let set_latency t ?op s =
   if s < 0. then invalid_arg "Fault_fs.set_latency";
-  t.latency <- s
+  match op with
+  | None ->
+    t.lat_read <- s;
+    t.lat_write <- s;
+    t.lat_sync <- s
+  | Some `Read -> t.lat_read <- s
+  | Some `Write -> t.lat_write <- s
+  | Some `Sync -> t.lat_sync <- s
 
 let set_capacity t c =
   (match c with
@@ -200,7 +217,9 @@ let clear t =
       t.rate_read <- 0.;
       t.rate_write <- 0.;
       t.rate_sync <- 0.;
-      t.latency <- 0.;
+      t.lat_read <- 0.;
+      t.lat_write <- 0.;
+      t.lat_sync <- 0.;
       t.capacity <- None)
 
 let ops t ~op =

@@ -43,9 +43,12 @@ val set_fault_rate : t -> op:op -> float -> unit
     probability (errno [EIO]), drawn from the seeded generator.
     [0.] (the default) disables. *)
 
-val set_latency : t -> float -> unit
-(** Sleep this many seconds before every intercepted operation.
-    [0.] (the default) disables. *)
+val set_latency : t -> ?op:op -> float -> unit
+(** Sleep this many seconds before every intercepted operation, or —
+    with [~op] — only before operations of that one kind (e.g.
+    [~op:`Sync] models a disk with a fast cache but a slow flush, the
+    regime group commit is built for).  [0.] (the default) disables;
+    calling without [~op] sets all three kinds at once. *)
 
 val set_capacity : t -> int option -> unit
 (** Byte budget across all files of the {e inner} store, measured by

@@ -210,6 +210,20 @@ let waiters t mode =
       | Update -> t.w_update
       | Exclusive -> t.w_exclusive)
 
+type waiting = {
+  waiting_shared : int;
+  waiting_update : int;
+  waiting_exclusive : int;
+}
+
+let waiting t =
+  locked t (fun () ->
+      {
+        waiting_shared = t.w_shared;
+        waiting_update = t.w_update;
+        waiting_exclusive = t.w_exclusive;
+      })
+
 let stats t =
   locked t (fun () ->
       {

@@ -18,6 +18,10 @@ let m_fsync_seconds =
 
 let m_syncs = Metrics.counter "sdb_wal_syncs_total" ~help:"Log fsyncs issued."
 
+let m_group_flushes =
+  Metrics.counter "sdb_wal_group_flushes_total"
+    ~help:"Group-commit flushes: one write + one fsync covering all staged frames."
+
 let m_entries_read =
   Metrics.counter "sdb_wal_entries_read_total"
     ~help:"Valid entries decoded by log scans."
@@ -60,6 +64,10 @@ module Writer = struct
     mutable entries : int;
     mutable length : int;
     mutable closed : bool;
+    (* Frames staged for the next group flush, and a reusable scratch
+       buffer for plain appends when no group is forming. *)
+    pending : Buffer.t;
+    mutable pending_frames : int;
   }
 
   let create fs file ~fingerprint =
@@ -67,7 +75,8 @@ module Writer = struct
     let w = fs.Fs.create file in
     w.Fs.w_write (magic ^ fingerprint);
     w.Fs.w_sync ();
-    { fs; file; w; entries = 0; length = header_size; closed = false }
+    { fs; file; w; entries = 0; length = header_size; closed = false;
+      pending = Buffer.create 512; pending_frames = 0 }
 
   let reopen fs file ~fingerprint ~valid_length ~entries =
     check_fingerprint fingerprint;
@@ -77,7 +86,8 @@ module Writer = struct
     if valid_length > size then invalid_arg "Wal.Writer.reopen: valid_length beyond EOF";
     if valid_length < size then fs.Fs.truncate file valid_length;
     let w = fs.Fs.open_append file in
-    { fs; file; w; entries; length = valid_length; closed = false }
+    { fs; file; w; entries; length = valid_length; closed = false;
+      pending = Buffer.create 512; pending_frames = 0 }
 
   (* A failed append happens strictly before the entry's fsync, i.e.
      before the commit point, so the update can still fail cleanly —
@@ -102,18 +112,27 @@ module Writer = struct
 
   let check t = if t.closed then Fs.io_fail ~op:"write" "Wal.Writer: used after close"
 
-  let frame payload =
+  let frame_into buf payload =
     let len = String.length payload in
     if len > max_entry_size then invalid_arg "Wal.Writer: entry too large";
-    let buf = Buffer.create (len + frame_overhead) in
     Buffer.add_int32_le buf (Int32.of_int len);
     Buffer.add_int32_le buf (Crc32.digest_string payload);
-    Buffer.add_string buf payload;
-    Buffer.contents buf
+    Buffer.add_string buf payload
+
+  (* Plain appends may interleave with a forming group only in the
+     order stage* -> flush: a frame written here while frames are
+     staged would land on disk *before* them, breaking LSN order. *)
+  let check_no_group t what =
+    if t.pending_frames > 0 then
+      invalid_arg ("Wal.Writer." ^ what ^ ": a group is staged; flush or discard it first")
 
   let append t payload =
     check t;
-    let framed = frame payload in
+    check_no_group t "append";
+    Buffer.clear t.pending;
+    frame_into t.pending payload;
+    let framed = Buffer.contents t.pending in
+    Buffer.clear t.pending;
     let timed = Metrics.is_enabled () in
     let t0 = if timed then Unix.gettimeofday () else 0.0 in
     write_rollback t framed;
@@ -127,12 +146,25 @@ module Writer = struct
 
   let append_raw_frames t raw ~count =
     check t;
+    check_no_group t "append_raw_frames";
     if count < 0 then invalid_arg "Wal.Writer.append_raw_frames: negative count";
     write_rollback t raw;
     Metrics.add m_appends count;
     Metrics.add m_appended_bytes (String.length raw);
     t.length <- t.length + String.length raw;
     t.entries <- t.entries + count
+
+  let stage t payload =
+    check t;
+    frame_into t.pending payload;
+    t.pending_frames <- t.pending_frames + 1
+
+  let staged_frames t = t.pending_frames
+  let staged_bytes t = Buffer.length t.pending
+
+  let discard_group t =
+    Buffer.clear t.pending;
+    t.pending_frames <- 0
 
   let sync t =
     check t;
@@ -146,6 +178,35 @@ module Writer = struct
     let index = append t payload in
     sync t;
     index
+
+  (* The group-commit emission: everything staged goes out as one
+     write and one fsync.  A failed write is rolled back exactly like a
+     plain append (the file is truncated to the last-good length and
+     [Append_rolled_back] carries the cause) — but the staged frames
+     are consumed either way: after any failure the group is gone and
+     each member must be failed by the caller.  A failed fsync escapes
+     raw, after the length/entry counters already cover the written
+     frames — the caller must treat the log as suspect (fsyncgate). *)
+  let flush_group t =
+    check t;
+    let count = t.pending_frames in
+    if count = 0 then (t.entries, 0)
+    else begin
+      let raw = Buffer.contents t.pending in
+      discard_group t;
+      let timed = Metrics.is_enabled () in
+      let t0 = if timed then Unix.gettimeofday () else 0.0 in
+      write_rollback t raw;
+      if timed then Metrics.observe m_append_seconds (Unix.gettimeofday () -. t0);
+      Metrics.add m_appends count;
+      Metrics.add m_appended_bytes (String.length raw);
+      t.length <- t.length + String.length raw;
+      let first = t.entries in
+      t.entries <- first + count;
+      Metrics.incr m_group_flushes;
+      sync t;
+      (first, count)
+    end
 
   let entries t = t.entries
   let length t = t.length

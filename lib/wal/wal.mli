@@ -61,7 +61,48 @@ module Writer : sig
   val append : t -> string -> int
   (** Buffer one framed entry (no fsync); returns its index.  On write
       failure, attempts to roll the file back and raises
-      {!Append_rolled_back} on success (see above). *)
+      {!Append_rolled_back} on success (see above).  Raises
+      [Invalid_argument] while frames are staged for a group (see
+      {!stage}): a plain append would land on disk before them. *)
+
+  val frame_into : Buffer.t -> string -> unit
+  (** Append one framed entry (length word, CRC word, payload) for this
+      payload to the buffer — the wire encoding of {!append}, without
+      writing anything.  Raises [Invalid_argument] if the payload
+      exceeds the entry size limit. *)
+
+  (** {2 Group commit}
+
+      N updates, one disk transfer: frames are {!stage}d into a pending
+      in-memory group, then {!flush_group} emits the whole group as one
+      write plus one fsync.  The staged frames are invisible to
+      {!entries}/{!length} (and to readers) until the flush. *)
+
+  val stage : t -> string -> unit
+  (** Frame the payload and add it to the pending group.  Nothing
+      reaches the file system. *)
+
+  val staged_frames : t -> int
+  (** Frames currently staged. *)
+
+  val staged_bytes : t -> int
+  (** Framed bytes currently staged. *)
+
+  val flush_group : t -> int * int
+  (** Write every staged frame with one append and force it with one
+      fsync — the whole group's commit point.  Returns
+      [(first_index, count)]: the staged frames now occupy entry
+      indices [first_index .. first_index + count - 1].  With nothing
+      staged, does no I/O and returns [(entries t, 0)].
+
+      The staged group is consumed even on failure.  A failed write is
+      rolled back and raises {!Append_rolled_back} exactly like
+      {!append} — the log is intact, no member committed.  A failed
+      fsync escapes raw and the log must be treated as suspect
+      (any prefix of the group may be durable). *)
+
+  val discard_group : t -> unit
+  (** Drop all staged frames without writing them. *)
 
   val append_raw_frames : t -> string -> count:int -> unit
   (** Append bytes that are already valid frames ([count] of them),

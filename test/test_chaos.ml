@@ -94,8 +94,14 @@ let round ~seed r =
   let store = Mem.create_store ~seed:((seed * 1000) + r) () in
   let ctl, ffs = Fault.wrap ~seed:((seed * 7) + r) (Mem.fs store) in
   let n = 40 in
-  logf "round %d.%d" seed r;
-  match Db.open_ ffs with
+  (* Alternate rounds run through the group-commit coordinator: the
+     workload is single-threaded, so every update is a group of one —
+     same guarantees, different commit path under fault fire. *)
+  let config =
+    { Smalldb.default_config with group_commit = r mod 2 = 1 }
+  in
+  logf "round %d.%d%s" seed r (if config.Smalldb.group_commit then " (grouped)" else "");
+  match Db.open_ ~config ffs with
   | Error e ->
     (* Can only happen if creation itself was faulted — not possible
        here since faults are not armed yet. *)

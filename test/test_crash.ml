@@ -180,6 +180,63 @@ let test_crash_inside_checkpoint () =
       go 1 false)
     [ Mem.Clean; Mem.Torn ]
 
+(* Torn-group sweep (§4d): a group flush lands as one contiguous
+   multi-frame write, and a crash may leave any byte prefix of it
+   durable.  For every byte cut inside the log tail — including every
+   point inside the 3-member group at the end — recovery must land on
+   exactly the whole-frame prefix and reopen clean. *)
+let test_torn_group_sweep () =
+  let gconfig = Some { Smalldb.default_config with group_commit = true } in
+  (* Single-threaded and seed-fixed, so every build writes the same
+     log bytes: three solo commits, then one 3-member group. *)
+  let build () =
+    let store = Mem.create_store ~seed:7000 () in
+    let fs = Mem.fs store in
+    let db = KVDb.open_exn ?config:gconfig fs in
+    for i = 0 to 2 do
+      KVDb.update db (sequenced_update i)
+    done;
+    KVDb.update_batch db (List.init 3 (fun i -> sequenced_update (3 + i)));
+    KVDb.close db;
+    fs
+  in
+  let log = "logfile0" in
+  let data = Fs.read_file (build ()) log in
+  (* Frame boundaries, straight from the length prefixes. *)
+  let u32le s off =
+    Char.code s.[off]
+    lor (Char.code s.[off + 1] lsl 8)
+    lor (Char.code s.[off + 2] lsl 16)
+    lor (Char.code s.[off + 3] lsl 24)
+  in
+  let header = Sdb_wal.Wal.header_size in
+  let rec frame_ends off acc =
+    if off >= String.length data then List.rev acc
+    else
+      let e = off + Sdb_wal.Wal.frame_overhead + u32le data off in
+      frame_ends e (e :: acc)
+  in
+  let ends = frame_ends header [] in
+  check Alcotest.int "six frames" 6 (List.length ends);
+  check Alcotest.int "frames cover the file" (String.length data)
+    (List.nth ends 5);
+  for cut = header to String.length data - 1 do
+    let fs = build () in
+    fs.Fs.truncate log cut;
+    let expected = List.length (List.filter (fun e -> e <= cut) ends) in
+    match KVDb.open_ ?config:gconfig fs with
+    | Error e -> Alcotest.fail (Printf.sprintf "cut %d: reopen failed: %s" cut e)
+    | Ok db ->
+      check Alcotest.int
+        (Printf.sprintf "cut %d: exactly the durable whole-frame prefix" cut)
+        expected (sequenced_prefix db);
+      (* The torn tail is truncated; commits resume cleanly. *)
+      KVDb.update db (sequenced_update expected);
+      check Alcotest.int (Printf.sprintf "cut %d: usable" cut) (expected + 1)
+        (sequenced_prefix db);
+      KVDb.close db
+  done
+
 (* Many-seed randomized torn sweep: larger state, random crash points. *)
 let test_randomized_torn_storm () =
   let rng = Sdb_util.Rng.create ~seed:77 in
@@ -383,6 +440,8 @@ let () =
           Alcotest.test_case "torn, with checkpoints" `Quick test_sweep_torn_ckpt;
           Alcotest.test_case "torn, checkpoints, retention" `Quick
             test_sweep_torn_ckpt_retained;
+          Alcotest.test_case "torn group, every byte cut" `Quick
+            test_torn_group_sweep;
         ] );
       ( "fault-schedules",
         [

@@ -373,6 +373,32 @@ let test_counters () =
   P.Counters.reset ();
   check Alcotest.int "reset" 0 (P.Counters.pickle_ops ())
 
+let test_encode_into () =
+  (* encode_into appends exactly encode's bytes, without disturbing
+     what the caller already put in the buffer — the commit path reuses
+     one growable buffer across updates. *)
+  let v = { pname = "jones"; age = 30; emails = [ "j@x"; "j@y" ] } in
+  let reference = P.encode codec_person v in
+  let buf = Buffer.create 16 in
+  Buffer.add_string buf "prefix";
+  P.encode_into buf codec_person v;
+  check Alcotest.string "appends encode's bytes" ("prefix" ^ reference)
+    (Buffer.contents buf);
+  (* Each call is self-contained: sharing ids restart, so a second
+     append decodes on its own. *)
+  P.encode_into buf codec_person v;
+  check Alcotest.string "second append identical"
+    ("prefix" ^ reference ^ reference)
+    (Buffer.contents buf);
+  let v' = P.decode codec_person reference in
+  check Alcotest.string "still decodes" v.pname v'.pname;
+  P.Counters.reset ();
+  let b2 = Buffer.create 16 in
+  P.encode_into b2 codec_person v;
+  check Alcotest.int "counts one op" 1 (P.Counters.pickle_ops ());
+  check Alcotest.int "counts appended bytes" (String.length reference)
+    (P.Counters.bytes_pickled ())
+
 (* ------------------------------------------------------------------ *)
 (* Schema evolution                                                    *)
 
@@ -534,6 +560,8 @@ let () =
           Alcotest.test_case "to/of_string headers" `Quick test_to_of_string;
           Alcotest.test_case "descr rendering" `Quick test_descr_rendering;
           Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "encode_into appends in place" `Quick
+            test_encode_into;
         ] );
       ( "evolution",
         [

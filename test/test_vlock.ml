@@ -193,6 +193,29 @@ let test_waiters () =
   check Alcotest.int "drained shared" 0 (Vlock.waiters l Vlock.Shared);
   check Alcotest.int "drained update" 0 (Vlock.waiters l Vlock.Update)
 
+let test_waiting_snapshot () =
+  (* The one-call snapshot the group-commit leader polls while
+     lingering: a blocked Update acquirer must show up in
+     [waiting_update], and the three fields come from a single mutex
+     hold. *)
+  let l = Vlock.create () in
+  let w = Vlock.waiting l in
+  check Alcotest.int "idle snapshot" 0
+    (w.Vlock.waiting_shared + w.Vlock.waiting_update + w.Vlock.waiting_exclusive);
+  Vlock.acquire l Vlock.Update;
+  let t =
+    spawn (fun () ->
+        Vlock.acquire l Vlock.Update;
+        Vlock.release l Vlock.Update)
+  in
+  wait_for "update waiter visible" (fun () ->
+      (Vlock.waiting l).Vlock.waiting_update = 1);
+  check Alcotest.int "no shared waiters" 0
+    (Vlock.waiting l).Vlock.waiting_shared;
+  Vlock.release l Vlock.Update;
+  Thread.join t;
+  check Alcotest.int "drained" 0 (Vlock.waiting l).Vlock.waiting_update
+
 (* Stress: concurrent readers and writers keep a counter consistent.
    Writers mutate only under exclusive; readers observe only stable
    states (even counter). *)
@@ -249,6 +272,7 @@ let () =
             test_with_lock_releases_on_exception;
           Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "waiters" `Quick test_waiters;
+          Alcotest.test_case "waiting snapshot" `Quick test_waiting_snapshot;
           Alcotest.test_case "stress invariant" `Quick test_stress_invariant;
         ] );
     ]

@@ -391,6 +391,165 @@ let test_raw_frames_counted () =
   Wal.Writer.close w2;
   expect_entries "raw frames readable" [ "first"; "second" ] no_stop fs "dst"
 
+(* ------------------------------------------------------------------ *)
+(* Staged group API                                                    *)
+
+let test_stage_flush_roundtrip () =
+  let _, fs = mem () in
+  let payloads = [ "alpha"; ""; String.make 5000 'q' ] in
+  (* Reference: the same payloads through plain appends. *)
+  let w_ref = Wal.Writer.create fs "ref" ~fingerprint:fp in
+  List.iter (fun p -> ignore (Wal.Writer.append w_ref p)) payloads;
+  Wal.Writer.sync w_ref;
+  Wal.Writer.close w_ref;
+  (* Staged: invisible until the flush, then one write + one fsync. *)
+  let w = Wal.Writer.create fs "log" ~fingerprint:fp in
+  let before = Fs.Counters.copy fs.Fs.counters in
+  List.iter (Wal.Writer.stage w) payloads;
+  check Alcotest.int "staged frames" 3 (Wal.Writer.staged_frames w);
+  check Alcotest.int "staged bytes"
+    (List.fold_left
+       (fun acc p -> acc + String.length p + Wal.frame_overhead)
+       0 payloads)
+    (Wal.Writer.staged_bytes w);
+  check Alcotest.int "entries unchanged while staged" 0 (Wal.Writer.entries w);
+  check Alcotest.int "length unchanged while staged" Wal.header_size
+    (Wal.Writer.length w);
+  let d0 = Fs.Counters.diff ~after:fs.Fs.counters ~before in
+  check Alcotest.int "staging does no I/O" 0
+    (d0.Fs.Counters.data_writes + d0.Fs.Counters.syncs);
+  check
+    Alcotest.(pair int int)
+    "flush returns the index range" (0, 3)
+    (Wal.Writer.flush_group w);
+  let d1 = Fs.Counters.diff ~after:fs.Fs.counters ~before in
+  check Alcotest.int "one data write for the group" 1 d1.Fs.Counters.data_writes;
+  check Alcotest.int "one fsync for the group" 1 d1.Fs.Counters.syncs;
+  check Alcotest.int "entries after flush" 3 (Wal.Writer.entries w);
+  check Alcotest.int "nothing left staged" 0 (Wal.Writer.staged_frames w);
+  Wal.Writer.close w;
+  expect_entries "flushed group readable" payloads no_stop fs "log";
+  (* The staged path is byte-identical to the append path. *)
+  check Alcotest.string "same bytes as plain appends"
+    (Fs.read_file fs "ref") (Fs.read_file fs "log")
+
+let test_flush_empty_and_discard () =
+  let _, fs = mem () in
+  let w = Wal.Writer.create fs "log" ~fingerprint:fp in
+  let before = Fs.Counters.copy fs.Fs.counters in
+  check
+    Alcotest.(pair int int)
+    "empty flush is a no-op" (0, 0)
+    (Wal.Writer.flush_group w);
+  let d = Fs.Counters.diff ~after:fs.Fs.counters ~before in
+  check Alcotest.int "no I/O" 0 (d.Fs.Counters.data_writes + d.Fs.Counters.syncs);
+  Wal.Writer.stage w "doomed";
+  Wal.Writer.stage w "also doomed";
+  Wal.Writer.discard_group w;
+  check Alcotest.int "discarded" 0 (Wal.Writer.staged_frames w);
+  check
+    Alcotest.(pair int int)
+    "nothing to flush after discard" (0, 0)
+    (Wal.Writer.flush_group w);
+  ignore (Wal.Writer.append_sync w "kept");
+  Wal.Writer.close w;
+  expect_entries "only the kept entry" [ "kept" ] no_stop fs "log"
+
+let test_append_refused_while_staged () =
+  let _, fs = mem () in
+  let w = Wal.Writer.create fs "log" ~fingerprint:fp in
+  Wal.Writer.stage w "staged";
+  (match Wal.Writer.append w "interloper" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "append must refuse while a group is staged");
+  (match Wal.Writer.append_raw_frames w "raw" ~count:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "append_raw_frames must refuse while a group is staged");
+  ignore (Wal.Writer.flush_group w);
+  ignore (Wal.Writer.append_sync w "after");
+  Wal.Writer.close w;
+  expect_entries "order preserved" [ "staged"; "after" ] no_stop fs "log"
+
+let test_group_flush_rolled_back () =
+  let store, fs = mem () in
+  let w = Wal.Writer.create fs "log" ~fingerprint:fp in
+  ignore (Wal.Writer.append_sync w "committed");
+  let len = Wal.Writer.length w in
+  Mem.set_capacity store (Some (Mem.total_bytes store));
+  Wal.Writer.stage w "doomed1";
+  Wal.Writer.stage w "doomed2";
+  (match Wal.Writer.flush_group w with
+  | exception Wal.Append_rolled_back (Fs.No_space _) -> ()
+  | _ -> Alcotest.fail "expected Append_rolled_back (No_space)");
+  check Alcotest.int "length restored" len (Wal.Writer.length w);
+  check Alcotest.int "entries restored" 1 (Wal.Writer.entries w);
+  check Alcotest.int "group consumed by the failure" 0
+    (Wal.Writer.staged_frames w);
+  (* Space returns: the writer keeps working. *)
+  Mem.set_capacity store None;
+  Wal.Writer.stage w "retry";
+  check
+    Alcotest.(pair int int)
+    "flush after rollback" (1, 1)
+    (Wal.Writer.flush_group w);
+  Wal.Writer.close w;
+  expect_entries "log intact" [ "committed"; "retry" ] no_stop fs "log"
+
+let test_torn_group_sweep () =
+  (* Every byte-truncation point inside a flushed group must recover
+     exactly the durable prefix of whole frames — the group version of
+     the paper's partial-log-entry rule. *)
+  let _, fs = mem () in
+  let solo = "pre-group" in
+  let group = [ "one"; "two-long-payload"; "three" ] in
+  let w = Wal.Writer.create fs "log" ~fingerprint:fp in
+  ignore (Wal.Writer.append_sync w solo);
+  List.iter (Wal.Writer.stage w) group;
+  ignore (Wal.Writer.flush_group w);
+  Wal.Writer.close w;
+  let data = Fs.read_file fs "log" in
+  (* Frame boundaries, from the payload sizes. *)
+  let payloads = solo :: group in
+  let ends =
+    List.rev
+      (fst
+         (List.fold_left
+            (fun (acc, off) p ->
+              let e = off + Wal.frame_overhead + String.length p in
+              (e :: acc, e))
+            ([], Wal.header_size) payloads))
+  in
+  check Alcotest.int "boundaries cover the file" (String.length data)
+    (List.nth ends (List.length ends - 1));
+  for cut = Wal.header_size to String.length data - 1 do
+    Fs.write_file fs "cut" (String.sub data 0 cut);
+    let expected = List.filter (fun e -> e <= cut) ends |> List.length in
+    match
+      Wal.Reader.fold fs "cut" ~fingerprint:fp
+        ~policy:Wal.Reader.Stop_at_damage ~init:0 ~f:(fun acc _ -> acc + 1)
+    with
+    | Error e -> Alcotest.fail (Format.asprintf "cut %d: %a" cut Wal.pp_error e)
+    | Ok (n, outcome) ->
+      check Alcotest.int
+        (Printf.sprintf "cut %d: durable whole-frame prefix" cut)
+        expected n;
+      check Alcotest.int
+        (Printf.sprintf "cut %d: valid_length at a frame boundary" cut)
+        (List.fold_left (fun acc e -> if e <= cut then e else acc)
+           Wal.header_size ends)
+        outcome.Wal.Reader.valid_length;
+      check Alcotest.int
+        (Printf.sprintf "cut %d: torn tail, not interior damage" cut)
+        0 outcome.Wal.Reader.entries_beyond_damage;
+      if cut > List.fold_left (fun acc e -> if e <= cut then e else acc)
+                 Wal.header_size ends
+      then
+        check Alcotest.bool
+          (Printf.sprintf "cut %d: stop reported" cut)
+          true
+          (outcome.Wal.Reader.stopped_early <> None)
+  done
+
 let () =
   Helpers.run "wal"
     [
@@ -405,6 +564,19 @@ let () =
           Alcotest.test_case "writer misuse" `Quick test_writer_misuse;
           Alcotest.test_case "raw frames feed counters" `Quick
             test_raw_frames_counted;
+        ] );
+      ( "staged-group",
+        [
+          Alcotest.test_case "stage/flush roundtrip, one write one sync" `Quick
+            test_stage_flush_roundtrip;
+          Alcotest.test_case "empty flush and discard" `Quick
+            test_flush_empty_and_discard;
+          Alcotest.test_case "append refused while staged" `Quick
+            test_append_refused_while_staged;
+          Alcotest.test_case "no-space flush rolled back" `Quick
+            test_group_flush_rolled_back;
+          Alcotest.test_case "torn-group truncation sweep" `Quick
+            test_torn_group_sweep;
         ] );
       ( "recovery",
         [
