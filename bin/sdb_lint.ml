@@ -1,0 +1,56 @@
+(* The repo lint CLI: the CI gate over lib/ and bin/.
+
+   Usage:
+     sdb_lint [DIR ...]        lint the given roots (default: lib bin)
+     sdb_lint --self-test      verify the rules fire on seeded violations
+     sdb_lint --rules          list the rules
+     sdb_lint --file FILE ...  lint specific files
+
+   Exit status: 0 = clean, 1 = findings, 2 = usage or internal error.
+   Findings print one per line as file:line:col: [rule] message. *)
+
+let usage () =
+  prerr_endline
+    "usage: sdb_lint [--self-test | --rules | --file FILE ... | DIR ...]";
+  exit 2
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--help" ] | [ "-h" ] -> usage ()
+  | [ "--rules" ] ->
+      List.iter
+        (fun (id, desc) -> Printf.printf "%-14s %s\n" id desc)
+        Sdb_lint.rules
+  | [ "--self-test" ] -> (
+      match Sdb_lint.self_test () with
+      | Ok () ->
+          print_endline "sdb_lint self-test: ok";
+          exit 0
+      | Error msg ->
+          Printf.eprintf "sdb_lint self-test FAILED: %s\n" msg;
+          exit 1)
+  | "--file" :: files when files <> [] ->
+      let findings = List.concat_map Sdb_lint.lint_file files in
+      List.iter (fun f -> print_endline (Sdb_lint.render f)) findings;
+      if findings = [] then exit 0 else exit 1
+  | _ ->
+      if List.exists (fun a -> String.length a > 0 && a.[0] = '-') args then
+        usage ();
+      let roots = if args = [] then [ "lib"; "bin" ] else args in
+      let missing = List.filter (fun d -> not (Sys.file_exists d)) roots in
+      if missing <> [] then (
+        List.iter (Printf.eprintf "sdb_lint: no such directory: %s\n") missing;
+        exit 2);
+      let findings = Sdb_lint.lint_dirs roots in
+      List.iter (fun f -> print_endline (Sdb_lint.render f)) findings;
+      if findings = [] then (
+        Printf.printf "sdb_lint: clean (%d rule%s over %s)\n"
+          (List.length Sdb_lint.rules)
+          (if List.length Sdb_lint.rules = 1 then "" else "s")
+          (String.concat " " roots);
+        exit 0)
+      else (
+        Printf.eprintf "sdb_lint: %d finding%s\n" (List.length findings)
+          (if List.length findings = 1 then "" else "s");
+        exit 1)

@@ -1,0 +1,411 @@
+type finding = {
+  f_file : string;
+  f_line : int;
+  f_col : int;
+  f_rule : string;
+  f_message : string;
+}
+
+let rules =
+  [
+    ( "unix-io",
+      "direct Unix file I/O outside lib/storage (must route through Fs)" );
+    ( "mutex-pairing",
+      "Mutex.lock/Mu.lock without a matching unlock in the same definition" );
+    ("print-in-lib", "stdout/stderr printing inside lib/ (use Sdb_obs)");
+    ( "global-mutable",
+      "module-level mutable state in a file with no synchronization primitive" );
+    ("parse-error", "file does not parse");
+  ]
+
+let render f =
+  Printf.sprintf "%s:%d:%d: [%s] %s" f.f_file f.f_line f.f_col f.f_rule
+    f.f_message
+
+(* ------------------------------------------------------------------ *)
+(* Path scoping                                                        *)
+
+let components path = String.split_on_char '/' path
+
+(* "lib" anywhere in the path keeps the rules working both on the repo
+   tree (lib/core/smalldb.ml) and on test fixtures (tmp/xyz/lib/a.ml). *)
+let rec has_seq seq l =
+  match (seq, l) with
+  | [], _ -> true
+  | _, [] -> false
+  | s :: srest, x :: xrest ->
+    if String.equal s x && has_seq srest xrest then true else has_seq seq xrest
+
+let in_lib path = List.mem "lib" (components path)
+let in_storage path = has_seq [ "lib"; "storage" ] (components path)
+
+(* ------------------------------------------------------------------ *)
+(* Waivers                                                             *)
+
+let waiver_attr = "sdb.lint.allow"
+
+(* A waiver names its rule before ':' ("unix-io: reason"); a bare
+   string or empty payload waives every rule for the subtree. *)
+let waived_rules_of_attrs (attrs : Parsetree.attributes) =
+  List.filter_map
+    (fun (a : Parsetree.attribute) ->
+      if not (String.equal a.attr_name.txt waiver_attr) then None
+      else
+        match a.attr_payload with
+        | PStr
+            [
+              {
+                pstr_desc =
+                  Pstr_eval
+                    ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+                _;
+              };
+            ] -> (
+          match String.index_opt s ':' with
+          | Some i -> Some (`Rule (String.trim (String.sub s 0 i)))
+          | None -> Some `All)
+        | _ -> Some `All)
+    attrs
+
+(* ------------------------------------------------------------------ *)
+(* Identifier helpers                                                  *)
+
+let rec flatten = function
+  | Longident.Lident s -> [ s ]
+  | Ldot (p, s) -> flatten p @ [ s ]
+  | Lapply (p, _) -> flatten p
+
+let forbidden_unix =
+  [ "openfile"; "write"; "single_write"; "fsync"; "rename"; "unlink";
+    "truncate"; "ftruncate" ]
+
+let forbidden_prints =
+  [
+    [ "Printf"; "printf" ];
+    [ "Printf"; "eprintf" ];
+    [ "Format"; "printf" ];
+    [ "Format"; "eprintf" ];
+    [ "print_endline" ];
+    [ "print_string" ];
+    [ "print_newline" ];
+    [ "prerr_endline" ];
+    [ "prerr_string" ];
+    [ "prerr_newline" ];
+  ]
+
+let sync_heads = [ "Vlock"; "Mutex"; "Mu"; "Atomic"; "Condition" ]
+
+(* ------------------------------------------------------------------ *)
+(* The linter                                                          *)
+
+type ctx = {
+  path : string;
+  mutable findings : finding list;
+  mutable waived : [ `Rule of string | `All ] list list;  (* a stack *)
+  (* per-top-level-definition lock/unlock bookkeeping:
+     (key, rule-loc, waivers active at the lock site) *)
+  mutable locks : (string * Location.t * [ `Rule of string | `All ] list) list;
+  mutable unlocks : string list;
+  (* whole-file facts for global-mutable *)
+  mutable uses_sync : bool;
+  mutable globals : (string * Location.t * [ `Rule of string | `All ] list) list;
+}
+
+let active_waivers ctx = List.concat ctx.waived
+
+let waived ctx rule waivers =
+  List.exists
+    (function `All -> true | `Rule r -> String.equal r rule)
+    waivers
+  || List.exists
+       (function `All -> true | `Rule r -> String.equal r rule)
+       (active_waivers ctx)
+
+let report ctx rule (loc : Location.t) message =
+  if not (waived ctx rule []) then
+    ctx.findings <-
+      {
+        f_file = ctx.path;
+        f_line = loc.loc_start.pos_lnum;
+        f_col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+        f_rule = rule;
+        f_message = message;
+      }
+      :: ctx.findings
+
+(* Normalized print of a lock argument, the pairing key: "t.gc_mutex"
+   and "t . gc_mutex" must compare equal. *)
+let key_of_expr e =
+  let s = Pprintast.string_of_expression e in
+  String.concat ""
+    (List.filter (fun c -> c <> "")
+       (String.split_on_char ' '
+          (String.map (function '\n' | '\t' -> ' ' | c -> c) s)
+       |> List.map String.trim))
+
+let lock_module last2 =
+  match last2 with
+  | [ m; _ ] -> String.equal m "Mutex" || String.equal m "Mu"
+  | _ -> false
+
+let last2 path = match List.rev path with b :: a :: _ -> [ a; b ] | l -> List.rev l
+
+let iterate ctx (str : Parsetree.structure) =
+  let open Ast_iterator in
+  let expr_rules (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> (
+      match flatten txt with
+      | [ "Unix"; fn ] when List.mem fn forbidden_unix ->
+        if not (in_storage ctx.path) then
+          report ctx "unix-io" loc
+            (Printf.sprintf
+               "direct Unix.%s bypasses Fs: fault injection and crash sweeps \
+                cannot see it; route through lib/storage"
+               fn)
+      | p when in_lib ctx.path && List.mem p forbidden_prints ->
+        report ctx "print-in-lib" loc
+          (Printf.sprintf
+             "%s writes to the process's std streams from library code; use \
+              Sdb_obs (metrics/trace sinks) instead"
+             (String.concat "." p))
+      | p -> (
+        match p with
+        | head :: _ when List.mem head sync_heads -> ctx.uses_sync <- true
+        | _ -> ()))
+    | Pexp_apply
+        ({ pexp_desc = Pexp_ident { txt; loc }; _ }, (Asttypes.Nolabel, arg) :: _)
+      -> (
+      let p = flatten txt in
+      match List.rev p with
+      | verb :: _ when lock_module (last2 p) -> (
+        let wrapper = match last2 p with m :: _ -> m | [] -> "" in
+        let key = wrapper ^ ":" ^ key_of_expr arg in
+        (* key is "lock-expr" scoped per wrapper module's last name so
+           Mutex.lock a / Mu.unlock a do not pair with each other *)
+        match verb with
+        | "lock" ->
+          ctx.locks <- (key, loc, active_waivers ctx) :: ctx.locks;
+          ctx.uses_sync <- true
+        | "unlock" ->
+          ctx.unlocks <- key :: ctx.unlocks;
+          ctx.uses_sync <- true
+        | "with_lock" -> ctx.uses_sync <- true
+        | _ -> ())
+      | _ -> ())
+    | _ -> ()
+  in
+  let it =
+    {
+      default_iterator with
+      expr =
+        (fun it e ->
+          let w = waived_rules_of_attrs e.pexp_attributes in
+          ctx.waived <- w :: ctx.waived;
+          expr_rules e;
+          default_iterator.expr it e;
+          ctx.waived <- List.tl ctx.waived);
+      structure_item =
+        (fun it si ->
+          let attrs =
+            match si.pstr_desc with
+            | Pstr_value (_, vbs) ->
+              List.concat_map (fun vb -> vb.Parsetree.pvb_attributes) vbs
+            | Pstr_attribute a -> [ a ]
+            | _ -> []
+          in
+          let w = waived_rules_of_attrs attrs in
+          ctx.waived <- w :: ctx.waived;
+          (* global-mutable: a structure-level binding whose RHS builds
+             a mutable container *)
+          (match si.pstr_desc with
+          | Pstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : Parsetree.value_binding) ->
+                match vb.pvb_expr.pexp_desc with
+                | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+                  match flatten txt with
+                  | [ "ref" ]
+                  | [ ("Hashtbl" | "Queue" | "Buffer"); "create" ] ->
+                    ctx.globals <-
+                      ( Pprintast.string_of_expression vb.pvb_expr,
+                        vb.pvb_loc,
+                        active_waivers ctx )
+                      :: ctx.globals
+                  | _ -> ())
+                | _ -> ())
+              vbs
+          | _ -> ());
+          default_iterator.structure_item it si;
+          ctx.waived <- List.tl ctx.waived)
+    }
+  in
+  (* mutex-pairing is scoped per top-level definition: walk each item
+     separately and settle its lock/unlock ledger before the next. *)
+  List.iter
+    (fun (si : Parsetree.structure_item) ->
+      ctx.locks <- [];
+      ctx.unlocks <- [];
+      it.structure_item it si;
+      List.iter
+        (fun (key, loc, waivers) ->
+          if not (List.mem key ctx.unlocks) then
+            if not (waived ctx "mutex-pairing" waivers) then
+              report ctx "mutex-pairing" loc
+                (Printf.sprintf
+                   "lock of %s has no matching unlock in this definition; \
+                    every path (including exceptions) must release — use \
+                    Fun.protect or with_lock"
+                   (match String.index_opt key ':' with
+                   | Some i ->
+                     String.sub key (i + 1) (String.length key - i - 1)
+                   | None -> key)))
+        ctx.locks)
+    str
+
+let lint_source ~path contents =
+  let ctx =
+    {
+      path;
+      findings = [];
+      waived = [];
+      locks = [];
+      unlocks = [];
+      uses_sync = false;
+      globals = [];
+    }
+  in
+  (match
+     let lexbuf = Lexing.from_string contents in
+     Location.init lexbuf path;
+     Parse.implementation lexbuf
+   with
+  | str ->
+    iterate ctx str;
+    if in_lib ctx.path && not ctx.uses_sync then
+      List.iter
+        (fun (what, loc, waivers) ->
+          if not (waived ctx "global-mutable" waivers) then
+            report ctx "global-mutable" loc
+              (Printf.sprintf
+                 "module-level mutable state (%s) in a file that never uses a \
+                  synchronization primitive: two threads make this a data \
+                  race; guard it or make it Atomic"
+                 what))
+        ctx.globals
+  | exception e ->
+    let loc, msg =
+      match e with
+      | Syntaxerr.Error err ->
+        (Syntaxerr.location_of_error err, "syntax error")
+      | e -> (Location.in_file path, Printexc.to_string e)
+    in
+    report ctx "parse-error" loc msg);
+  List.rev ctx.findings
+
+let lint_file path =
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  lint_source ~path contents
+
+let rec walk dir acc =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> acc
+  | entries ->
+    Array.sort compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        let full = Filename.concat dir entry in
+        if String.length entry > 0 && entry.[0] = '.' then acc
+        else if Sys.is_directory full then
+          if String.equal entry "_build" then acc else walk full acc
+        else if Filename.check_suffix entry ".ml" then full :: acc
+        else acc)
+      acc entries
+
+let lint_dirs dirs =
+  let files = List.fold_left (fun acc d -> walk d acc) [] dirs in
+  List.concat_map lint_file (List.sort compare files)
+
+(* ------------------------------------------------------------------ *)
+(* Self-test: the gate must be able to prove it still fires            *)
+
+let seeded : (string * string * string * int option) list =
+  (* (rule expected, path, source, expected line (None = any)) *)
+  [
+    ( "unix-io",
+      "lib/seeded/bad_unix.ml",
+      "let f path =\n  Unix.unlink path\n",
+      Some 2 );
+    ( "mutex-pairing",
+      "lib/seeded/bad_mutex.ml",
+      "let m = Mutex.create ()\nlet f () =\n  Mutex.lock m;\n  work ()\n",
+      Some 3 );
+    ( "print-in-lib",
+      "lib/seeded/bad_print.ml",
+      "let f () = Printf.printf \"hello\"\n",
+      Some 1 );
+    ( "global-mutable",
+      "lib/seeded/bad_global.ml",
+      "let table = Hashtbl.create 16\nlet get k = Hashtbl.find_opt table k\n",
+      Some 1 );
+  ]
+
+let waived_twins : (string * string * string) list =
+  [
+    ( "unix-io",
+      "lib/seeded/ok_unix.ml",
+      "let f path =\n\
+      \  (Unix.unlink path [@sdb.lint.allow \"unix-io: self-test waiver\"])\n" );
+    ( "print-in-lib",
+      "lib/seeded/ok_print.ml",
+      "let f () = (Printf.printf \"hello\" [@sdb.lint.allow \"print-in-lib: \
+       self-test\"])\n" );
+  ]
+
+let self_test () =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec check_seeded = function
+    | [] -> Ok ()
+    | (rule, path, src, line) :: rest -> (
+      let fs = lint_source ~path src in
+      match
+        List.find_opt
+          (fun f ->
+            String.equal f.f_rule rule
+            && match line with None -> true | Some l -> f.f_line = l)
+          fs
+      with
+      | Some _ -> check_seeded rest
+      | None ->
+        fail "self-test: rule %s did not fire on seeded violation %s" rule path)
+  in
+  let rec check_waived = function
+    | [] -> Ok ()
+    | (rule, path, src) :: rest ->
+      let fs = lint_source ~path src in
+      if List.exists (fun f -> String.equal f.f_rule rule) fs then
+        fail "self-test: waiver failed to suppress %s in %s" rule path
+      else check_waived rest
+  in
+  let clean =
+    lint_source ~path:"lib/seeded/clean.ml"
+      "let m = Mutex.create ()\n\
+       let f () =\n\
+      \  Mutex.lock m;\n\
+      \  Fun.protect ~finally:(fun () -> Mutex.unlock m) work\n"
+  in
+  match check_seeded seeded with
+  | Error _ as e -> e
+  | Ok () -> (
+    match check_waived waived_twins with
+    | Error _ as e -> e
+    | Ok () ->
+      if clean <> [] then
+        fail "self-test: clean fixture produced findings: %s"
+          (String.concat "; " (List.map render clean))
+      else Ok ())

@@ -1,0 +1,61 @@
+(** The repo lint: compiler-libs parsetree iteration enforcing the
+    repository's concurrency and I/O discipline over [lib/] and [bin/]
+    (DESIGN.md §5 lists the rules and their rationale).
+
+    Rules:
+    - [unix-io] — no direct [Unix.openfile]/[write]/[single_write]/
+      [fsync]/[rename]/[unlink]/[truncate]/[ftruncate] outside
+      [lib/storage]: all file I/O must route through [Fs], so the
+      fault-injecting decorator and the crash sweeps see every byte.
+      (Socket calls such as [Unix.write_substring] on an fd are not
+      file I/O and are not flagged.)
+    - [mutex-pairing] — every [Mutex.lock m] / [Mu.lock m] must have a
+      matching [Mutex.unlock m] / [Mu.unlock m] (same lock expression)
+      within the same top-level definition; prefer [Fun.protect] or
+      [Mu.with_lock], which pair by construction.
+    - [print-in-lib] — no [Printf.printf]/[print_endline]/
+      [prerr_endline]/[Format.printf] etc. in [lib/]: a library never
+      owns stdout/stderr; observability routes through [Sdb_obs].
+    - [global-mutable] — a module-level [ref]/[Hashtbl.create]/
+      [Queue.create]/[Buffer.create] in a [lib/] file that never
+      touches a synchronization primitive (Vlock, Mutex, Mu, Atomic) is
+      unsynchronized shared state waiting for a second thread.
+
+    A finding can be waived at the offending expression or its
+    enclosing definition with an attribute carrying the rule id and a
+    justification, e.g.
+    [(Unix.unlink path [@sdb.lint.allow "unix-io: unix-domain socket, \
+     not a data file"])]. *)
+
+type finding = {
+  f_file : string;
+  f_line : int;
+  f_col : int;
+  f_rule : string;
+  f_message : string;
+}
+
+val rules : (string * string) list
+(** (id, one-line description) for every rule, in report order. *)
+
+val lint_source : path:string -> string -> finding list
+(** Lint one compilation unit given as a string.  [path] (with ['/']
+    separators) decides rule scoping: [lib/storage/] is exempt from
+    [unix-io], only [lib/] is subject to [print-in-lib] and
+    [global-mutable]. *)
+
+val lint_file : string -> finding list
+(** Read and lint one [.ml] file. *)
+
+val lint_dirs : string list -> finding list
+(** Recursively lint every [.ml] file under the given directories
+    (skipping [_build] and dot-directories), sorted by path. *)
+
+val render : finding -> string
+(** ["file:line:col: [rule] message"]. *)
+
+val self_test : unit -> (unit, string) result
+(** Lint a built-in set of seeded violations and a waived twin of each;
+    [Error] describes the first rule that failed to fire (or fired
+    through a waiver).  The CI lint job runs this so the gate can trust
+    the gatekeeper. *)

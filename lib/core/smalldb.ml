@@ -70,6 +70,30 @@ let m_degraded_recoveries =
   Metrics.counter "sdb_degraded_recoveries_total"
     ~help:"Automatic exits from degraded mode (space reclaimed)."
 
+(* Concurrency-sanitizer exposure (pull-style: the sanitizer keeps its
+   own tallies so the zero-overhead-when-disabled property holds; we
+   bridge deltas into the registry only when someone renders). *)
+let () =
+  let m_san_checks =
+    Metrics.counter "sdb_san_checks_total"
+      ~help:"Lock-discipline checks processed by the sanitizer."
+  and m_san_violations =
+    Metrics.counter "sdb_san_violations_total"
+      ~help:"Lock-discipline violations the sanitizer raised."
+  and m_san_depth =
+    Metrics.gauge "sdb_san_max_lock_depth"
+      ~help:"Deepest per-thread lock hold stack the sanitizer observed."
+  in
+  let pushed_checks = ref 0 and pushed_violations = ref 0 in
+  Metrics.register_collector ~name:"sdb_check" (fun () ->
+      let s = Sdb_check.stats () in
+      Metrics.add m_san_checks (max 0 (s.Sdb_check.checks - !pushed_checks));
+      pushed_checks := max !pushed_checks s.Sdb_check.checks;
+      Metrics.add m_san_violations
+        (max 0 (s.Sdb_check.violations - !pushed_violations));
+      pushed_violations := max !pushed_violations s.Sdb_check.violations;
+      Metrics.set_gauge m_san_depth (float_of_int s.Sdb_check.max_lock_depth))
+
 module type APP = sig
   type state
   type update
@@ -208,15 +232,16 @@ module Make (App : APP) = struct
     fs : Fs.t;
     config : config;
     lock : Vlock.t;
-    ckpt_mutex : Mutex.t;  (* serializes checkpoints of both kinds *)
+    ckpt_mutex : Sdb_check.Mu.t;  (* serializes checkpoints of both kinds *)
     (* Group-commit coordinator: the forming group (joined under the
        Update lock), the commit slot serializing leaders in formation
        order, and the condition variable members park on — all guarded
-       by [gc_mutex]. *)
-    gc_mutex : Mutex.t;
+       by [gc_mutex].  The two cells are [Guarded] so the sanitizer
+       checks the contract on every access. *)
+    gc_mutex : Sdb_check.Mu.t;
     gc_cond : Condition.t;
-    mutable gc_forming : group option;
-    mutable gc_committing : bool;
+    gc_forming : group option Sdb_check.Guarded.t;
+    gc_committing : bool Sdb_check.Guarded.t;
     (* reusable pickle scratch; guarded by the Update lock *)
     pickle_buf : Buffer.t;
     mutable state : App.state;
@@ -246,7 +271,7 @@ module Make (App : APP) = struct
     mutable t_ckpt_write : float;
     mutable t_restore : float;
     mutable t_replay : float;
-    subs_mutex : Mutex.t;
+    subs_mutex : Sdb_check.Mu.t;
     mutable subscribers : (int * (int -> App.update -> unit)) list;
     mutable next_sub : int;
   }
@@ -277,15 +302,17 @@ module Make (App : APP) = struct
   (* Opening                                                           *)
 
   let make fs config state wal generation lsn recovery =
+    let gc_mutex = Sdb_check.Mu.make ("smalldb.gc:" ^ App.name) in
     {
       fs;
       config;
-      lock = Vlock.create ();
-      ckpt_mutex = Mutex.create ();
-      gc_mutex = Mutex.create ();
+      lock = Vlock.create ~name:App.name ();
+      ckpt_mutex = Sdb_check.Mu.make ("smalldb.ckpt:" ^ App.name);
+      gc_mutex;
       gc_cond = Condition.create ();
-      gc_forming = None;
-      gc_committing = false;
+      gc_forming = Sdb_check.Guarded.create ~by:gc_mutex ~name:"gc_forming" None;
+      gc_committing =
+        Sdb_check.Guarded.create ~by:gc_mutex ~name:"gc_committing" false;
       pickle_buf = Buffer.create 256;
       state;
       wal;
@@ -313,7 +340,7 @@ module Make (App : APP) = struct
       t_ckpt_write = 0.;
       t_restore = 0.;
       t_replay = 0.;
-      subs_mutex = Mutex.create ();
+      subs_mutex = Sdb_check.Mu.make ("smalldb.subs:" ^ App.name);
       subscribers = [];
       next_sub = 0;
     }
@@ -495,6 +522,8 @@ module Make (App : APP) = struct
           (try Wal.Writer.close wal with _ -> ());
           raise e);
        (try Wal.Writer.close t.wal with _ -> ());
+       Sdb_check.assert_mode (Vlock.sanitizer t.lock) Sdb_check.Update
+         ~site:"checkpoint_locked.install";
        t.wal <- wal;
        t.generation <- next;
        t.ckpts <- t.ckpts + 1;
@@ -530,9 +559,9 @@ module Make (App : APP) = struct
 
   let checkpoint t =
     check_usable t;
-    Mutex.lock t.ckpt_mutex;
+    Sdb_check.Mu.lock t.ckpt_mutex;
     Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.ckpt_mutex)
+      ~finally:(fun () -> Sdb_check.Mu.unlock t.ckpt_mutex)
       (fun () ->
         Vlock.acquire t.lock Vlock.Update;
         Fun.protect
@@ -549,9 +578,9 @@ module Make (App : APP) = struct
     check_usable t;
     if t.config.archive_logs then
       invalid_arg "Smalldb.checkpoint_concurrent: incompatible with archive_logs";
-    Mutex.lock t.ckpt_mutex;
+    Sdb_check.Mu.lock t.ckpt_mutex;
     Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.ckpt_mutex)
+      ~finally:(fun () -> Sdb_check.Mu.unlock t.ckpt_mutex)
       (fun () ->
         check_usable t;
         (* Phase 1: O(1) snapshot.  A momentary update lock pins the
@@ -611,6 +640,8 @@ module Make (App : APP) = struct
                   raise e);
                committed := true;
                (try Wal.Writer.close t.wal with _ -> ());
+               Sdb_check.assert_mode (Vlock.sanitizer t.lock) Sdb_check.Update
+                 ~site:"checkpoint_concurrent.install";
                t.wal <- wal';
                t.generation <- next;
                t.ckpts <- t.ckpts + 1;
@@ -688,25 +719,18 @@ module Make (App : APP) = struct
       end
 
   let subscribe t f =
-    Mutex.lock t.subs_mutex;
-    let id = t.next_sub in
-    t.next_sub <- id + 1;
-    t.subscribers <- t.subscribers @ [ (id, f) ];
-    Mutex.unlock t.subs_mutex;
-    id
+    Sdb_check.Mu.with_lock t.subs_mutex (fun () ->
+        let id = t.next_sub in
+        t.next_sub <- id + 1;
+        t.subscribers <- t.subscribers @ [ (id, f) ];
+        id)
 
   let unsubscribe t id =
-    Mutex.lock t.subs_mutex;
-    t.subscribers <- List.filter (fun (i, _) -> i <> id) t.subscribers;
-    Mutex.unlock t.subs_mutex
+    Sdb_check.Mu.with_lock t.subs_mutex (fun () ->
+        t.subscribers <- List.filter (fun (i, _) -> i <> id) t.subscribers)
 
   let notify t lsn u =
-    let subs =
-      Mutex.lock t.subs_mutex;
-      let s = t.subscribers in
-      Mutex.unlock t.subs_mutex;
-      s
-    in
+    let subs = Sdb_check.Mu.with_lock t.subs_mutex (fun () -> t.subscribers) in
     List.iter (fun (_, f) -> f lsn u) subs
 
   (* ---------------------------------------------------------------- *)
@@ -722,18 +746,16 @@ module Make (App : APP) = struct
   (* Wake every still-pending member with its outcome.  Every leader
      path calls this exactly once, before notifications run. *)
   let wake_group t members outcome_of =
-    Mutex.lock t.gc_mutex;
-    List.iter
-      (fun m -> if is_pending m then m.m_outcome <- outcome_of m)
-      members;
-    Condition.broadcast t.gc_cond;
-    Mutex.unlock t.gc_mutex
+    Sdb_check.Mu.with_lock t.gc_mutex (fun () ->
+        List.iter
+          (fun m -> if is_pending m then m.m_outcome <- outcome_of m)
+          members;
+        Condition.broadcast t.gc_cond)
 
   let release_slot t =
-    Mutex.lock t.gc_mutex;
-    t.gc_committing <- false;
-    Condition.broadcast t.gc_cond;
-    Mutex.unlock t.gc_mutex
+    Sdb_check.Mu.with_lock t.gc_mutex (fun () ->
+        Sdb_check.Guarded.set t.gc_committing false;
+        Condition.broadcast t.gc_cond)
 
   (* The group leader: the updater that created the forming group.
      It (1) claims the commit slot, so groups commit in formation
@@ -766,21 +788,18 @@ module Make (App : APP) = struct
      The leader raises its own failure exactly as a solo updater
      would; it returns normally only when the whole group committed. *)
   let lead t (g : group) =
-    Mutex.lock t.gc_mutex;
-    while t.gc_committing do
-      Condition.wait t.gc_cond t.gc_mutex
+    Sdb_check.Mu.lock t.gc_mutex;
+    while Sdb_check.Guarded.get t.gc_committing do
+      Sdb_check.Mu.wait t.gc_cond t.gc_mutex
     done;
-    t.gc_committing <- true;
-    Mutex.unlock t.gc_mutex;
+    Sdb_check.Guarded.set t.gc_committing true;
+    Sdb_check.Mu.unlock t.gc_mutex;
     Fun.protect ~finally:(fun () -> release_slot t) @@ fun () ->
     (* Linger.  The stdlib has no timed condition wait, so poll: an
        idle lock exits immediately (a solo update pays no delay). *)
     let deadline = g.g_born +. t.config.max_group_delay in
     let group_bytes () =
-      Mutex.lock t.gc_mutex;
-      let b = g.g_bytes in
-      Mutex.unlock t.gc_mutex;
-      b
+      Sdb_check.Mu.with_lock t.gc_mutex (fun () -> g.g_bytes)
     in
     while
       now () < deadline
@@ -799,10 +818,11 @@ module Make (App : APP) = struct
       | None -> ()
     in
     (* Seal: late arrivals will form (and lead) the next group. *)
-    Mutex.lock t.gc_mutex;
-    t.gc_forming <- None;
-    let members = List.rev g.g_members in
-    Mutex.unlock t.gc_mutex;
+    let members =
+      Sdb_check.Mu.with_lock t.gc_mutex (fun () ->
+          Sdb_check.Guarded.set t.gc_forming None;
+          List.rev g.g_members)
+    in
     let fail_all ?(poison = false) ~leader member_exn =
       if poison then t.poisoned <- true;
       release ();
@@ -842,6 +862,8 @@ module Make (App : APP) = struct
           ~start_s:t1 ~dur_s:(t2 -. t1);
       Vlock.upgrade t.lock;
       held := Some Vlock.Exclusive;
+      Sdb_check.assert_mode (Vlock.sanitizer t.lock) Sdb_check.Exclusive
+        ~site:"lead.apply";
       (try
          let t0 = now () in
          List.iter
@@ -875,7 +897,11 @@ module Make (App : APP) = struct
          parked forever.  Anything unexpected (every expected failure
          went through [fail_all] and settled the group already) still
          wakes the group, poisoned. *)
-      if List.exists is_pending members then begin
+      let stranded =
+        Sdb_check.Mu.with_lock t.gc_mutex (fun () ->
+            List.exists is_pending members)
+      in
+      if stranded then begin
         t.poisoned <- true;
         release ();
         wake_group t members (fun _ -> M_failed Poisoned)
@@ -925,6 +951,8 @@ module Make (App : APP) = struct
           | Error e -> Error e
           | Ok () ->
             let t1 = now () in
+            Sdb_check.assert_mode (Vlock.sanitizer t.lock) Sdb_check.Update
+              ~site:"group_commit.pickle_buf";
             let payloads =
               List.map
                 (fun u ->
@@ -939,25 +967,24 @@ module Make (App : APP) = struct
             let m =
               { m_updates = updates; m_payloads = payloads; m_outcome = M_pending }
             in
-            Mutex.lock t.gc_mutex;
             let lead_group =
-              match t.gc_forming with
-              | Some g ->
-                g.g_members <- m :: g.g_members;
-                g.g_bytes <- g.g_bytes + payload_bytes payloads;
-                None
-              | None ->
-                let g =
-                  {
-                    g_members = [ m ];
-                    g_bytes = payload_bytes payloads;
-                    g_born = now ();
-                  }
-                in
-                t.gc_forming <- Some g;
-                Some g
+              Sdb_check.Mu.with_lock t.gc_mutex (fun () ->
+                  match Sdb_check.Guarded.get t.gc_forming with
+                  | Some g ->
+                    g.g_members <- m :: g.g_members;
+                    g.g_bytes <- g.g_bytes + payload_bytes payloads;
+                    None
+                  | None ->
+                    let g =
+                      {
+                        g_members = [ m ];
+                        g_bytes = payload_bytes payloads;
+                        g_born = now ();
+                      }
+                    in
+                    Sdb_check.Guarded.set t.gc_forming (Some g);
+                    Some g)
             in
-            Mutex.unlock t.gc_mutex;
             Ok (m, lead_group))
     in
     match joined with
@@ -966,12 +993,12 @@ module Make (App : APP) = struct
       lead t g;
       Ok ()
     | Ok (m, None) ->
-      Mutex.lock t.gc_mutex;
+      Sdb_check.Mu.lock t.gc_mutex;
       while is_pending m do
-        Condition.wait t.gc_cond t.gc_mutex
+        Sdb_check.Mu.wait t.gc_cond t.gc_mutex
       done;
       let o = m.m_outcome in
-      Mutex.unlock t.gc_mutex;
+      Sdb_check.Mu.unlock t.gc_mutex;
       (match o with
       | M_committed _ -> Ok ()
       | M_failed e -> raise e
@@ -982,11 +1009,17 @@ module Make (App : APP) = struct
 
   let query t f =
     check_usable t;
-    Vlock.with_lock t.lock Vlock.Shared (fun () -> f t.state)
+    Vlock.with_lock t.lock Vlock.Shared (fun () ->
+        Sdb_check.assert_mode (Vlock.sanitizer t.lock) Sdb_check.Shared
+          ~site:"query";
+        f t.state)
 
   let query_with_lsn t f =
     check_usable t;
-    Vlock.with_lock t.lock Vlock.Shared (fun () -> (f t.state, t.lsn))
+    Vlock.with_lock t.lock Vlock.Shared (fun () ->
+        Sdb_check.assert_mode (Vlock.sanitizer t.lock) Sdb_check.Shared
+          ~site:"query_with_lsn";
+        (f t.state, t.lsn))
 
   (* The paper's three steps under the paper's locks:
      update lock for verify + log write (enquiries keep running),
@@ -1042,6 +1075,8 @@ module Make (App : APP) = struct
             (let t0 = now () in
              (* A raising pickler likewise: nothing is on disk yet.
                 The scratch buffer is guarded by the Update lock. *)
+             Sdb_check.assert_mode (Vlock.sanitizer t.lock) Sdb_check.Update
+               ~site:"update_solo.pickle_buf";
              Buffer.clear t.pickle_buf;
              Pickle.encode_into t.pickle_buf App.codec_update u;
              let payload = Buffer.contents t.pickle_buf in
@@ -1083,6 +1118,8 @@ module Make (App : APP) = struct
             (* Committed: switch to exclusive for the memory mutation. *)
             Vlock.upgrade t.lock;
             held := Some Vlock.Exclusive;
+            Sdb_check.assert_mode (Vlock.sanitizer t.lock) Sdb_check.Exclusive
+              ~site:"update_solo.apply";
             (try
                let t0 = now () in
                t.state <- App.apply t.state u;
@@ -1142,6 +1179,8 @@ module Make (App : APP) = struct
           | None -> ())
         (fun () ->
           (let t0 = now () in
+           Sdb_check.assert_mode (Vlock.sanitizer t.lock) Sdb_check.Update
+             ~site:"update_batch.pickle_buf";
            let payloads =
              List.map
                (fun u ->
@@ -1176,6 +1215,8 @@ module Make (App : APP) = struct
            Metrics.observe m_phase_log (t2 -. t1));
           Vlock.upgrade t.lock;
           held := Some Vlock.Exclusive;
+          Sdb_check.assert_mode (Vlock.sanitizer t.lock) Sdb_check.Exclusive
+            ~site:"update_batch.apply";
           (try
              let t0 = now () in
              List.iter (fun u -> t.state <- App.apply t.state u) updates;
@@ -1277,15 +1318,17 @@ module Make (App : APP) = struct
   let scrub ?(repair = false) ?digest t =
     check_usable t;
     let t0 = now () in
-    Mutex.lock t.ckpt_mutex;
+    Sdb_check.Mu.lock t.ckpt_mutex;
     Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.ckpt_mutex)
+      ~finally:(fun () -> Sdb_check.Mu.unlock t.ckpt_mutex)
       (fun () ->
         Vlock.acquire t.lock Vlock.Update;
         Fun.protect
           ~finally:(fun () -> Vlock.release t.lock Vlock.Update)
           (fun () ->
             check_usable t;
+            Sdb_check.assert_mode (Vlock.sanitizer t.lock) Sdb_check.Update
+              ~site:"scrub";
             let gen = t.generation in
             let ckpt = Store.checkpoint_file gen in
             let log = Store.log_file gen in

@@ -184,7 +184,26 @@ let render_series buf family { labels; data } =
     line ~suffix:"_min" (fmt_float s.H.s_min);
     line ~suffix:"_max" (fmt_float s.H.s_max)
 
+(* Collectors pull values from subsystems that don't push on every
+   event (e.g. the concurrency sanitizer); they run before each render,
+   outside the registry lock, because they call counter/gauge/set_gauge
+   themselves. *)
+let collectors : (string, unit -> unit) Hashtbl.t = Hashtbl.create 8
+let collectors_mutex = Mutex.create ()
+
+let register_collector ~name f =
+  Mutex.lock collectors_mutex;
+  Hashtbl.replace collectors name f;
+  Mutex.unlock collectors_mutex
+
+let run_collectors () =
+  Mutex.lock collectors_mutex;
+  let fs = Hashtbl.fold (fun _ f acc -> f :: acc) collectors [] in
+  Mutex.unlock collectors_mutex;
+  List.iter (fun f -> f ()) fs
+
 let render () =
+  run_collectors ();
   locked (fun () ->
       let families =
         Hashtbl.fold (fun _ f acc -> f :: acc) registry []

@@ -62,6 +62,14 @@ val histogram_snapshot : histogram -> Sdb_util.Histogram.snapshot
 
 (** {1 Exposition} *)
 
+val register_collector : name:string -> (unit -> unit) -> unit
+(** Register a pull-style collector run at the start of every
+    {!render}, for subsystems that keep their own counters rather than
+    pushing on each event (the concurrency sanitizer, for one).  The
+    collector typically calls {!counter}/{!gauge} and records deltas.
+    Registration is idempotent per [name]: the latest closure wins, so
+    re-creating an engine does not stack duplicate collectors. *)
+
 val render : unit -> string
 (** The whole registry in Prometheus text format, deterministically
     ordered (families alphabetical, series by label value).  Histograms

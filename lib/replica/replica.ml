@@ -37,9 +37,9 @@ type peer = {
   mutable p_lagging : bool;  (* eager pipeline suspended *)
   p_backlog : Metrics.gauge;  (* LSN delta to the local tip *)
   p_depth : Metrics.gauge;  (* current outbox occupancy *)
-  p_queue : (int * Ns.update) Queue.t;
+  p_queue : (int * Ns.update) Queue.t Sdb_check.Guarded.t;
   p_capacity : int;
-  p_mutex : Mutex.t;  (* guards every mutable peer field *)
+  p_mutex : Sdb_check.Mu.t;  (* guards every mutable peer field *)
   p_cond : Condition.t;
   mutable p_sending : bool;  (* sender has an RPC in flight *)
   mutable p_stop : bool;
@@ -57,7 +57,7 @@ type peer_report = {
 type t = {
   replica_id : string;
   ns : Ns.t;
-  peers_mutex : Mutex.t;
+  peers_mutex : Sdb_check.Mu.t;
   mutable peer_list : peer list;
   mutable subscription : Ns.Db.subscription option;
 }
@@ -74,78 +74,79 @@ let push_update client (u : Ns.update) =
 
 let local_lsn t = (Ns.stats t.ns).Smalldb.lsn
 
-(* Call with [p_mutex] held. *)
+(* Call with [p_mutex] held (the Guarded queue access checks it). *)
 let refresh_gauges_locked peer ~tip =
   Metrics.set_gauge peer.p_backlog (float_of_int (max 0 (tip - peer.p_acked)));
-  Metrics.set_gauge peer.p_depth (float_of_int (Queue.length peer.p_queue))
+  Metrics.set_gauge peer.p_depth
+    (float_of_int (Queue.length (Sdb_check.Guarded.get peer.p_queue)))
 
 let all_peers t =
-  Mutex.lock t.peers_mutex;
-  let l = t.peer_list in
-  Mutex.unlock t.peers_mutex;
-  l
+  Sdb_check.Mu.with_lock t.peers_mutex (fun () -> t.peer_list)
 
 (* ------------------------------------------------------------------ *)
 (* The sender thread                                                   *)
 
 let sender_loop t peer =
   let rec loop () =
-    Mutex.lock peer.p_mutex;
-    while Queue.is_empty peer.p_queue && not peer.p_stop do
-      Condition.wait peer.p_cond peer.p_mutex
+    Sdb_check.Mu.lock peer.p_mutex;
+    let queue () = Sdb_check.Guarded.get peer.p_queue in
+    while Queue.is_empty (queue ()) && not peer.p_stop do
+      Sdb_check.Mu.wait peer.p_cond peer.p_mutex
     done;
-    if peer.p_stop then Mutex.unlock peer.p_mutex
+    if peer.p_stop then Sdb_check.Mu.unlock peer.p_mutex
     else begin
       (* Peek, don't pop: the in-flight entry must stay queued so the
          contiguity arithmetic in [on_commit]
          ([p_acked + Queue.length = next lsn]) keeps holding while the
          RPC is outstanding.  It is popped only once acknowledged. *)
-      let lsn, u = Queue.peek peer.p_queue in
+      let lsn, u = Queue.peek (queue ()) in
       if lsn < peer.p_acked then begin
         (* Anti-entropy outran the outbox; the peer already has it. *)
-        ignore (Queue.pop peer.p_queue);
-        Mutex.unlock peer.p_mutex;
+        ignore (Queue.pop (queue ()));
+        Sdb_check.Mu.unlock peer.p_mutex;
         loop ()
       end
       else if lsn > peer.p_acked || peer.p_lagging || not peer.p_reachable
       then begin
         (* Gap or suspended pipeline: anti-entropy owns the catch-up. *)
         peer.p_lagging <- true;
-        Queue.clear peer.p_queue;
+        Queue.clear (queue ());
         refresh_gauges_locked peer ~tip:(local_lsn t);
         Condition.broadcast peer.p_cond;
-        Mutex.unlock peer.p_mutex;
+        Sdb_check.Mu.unlock peer.p_mutex;
         loop ()
       end
       else begin
         peer.p_sending <- true;
         let client = peer.p_client in
-        Mutex.unlock peer.p_mutex;
+        Sdb_check.Mu.unlock peer.p_mutex;
+        (* The push is network I/O: the outbox mutex must be off. *)
+        Sdb_check.assert_no_mutex_held_during_io ~site:"replica.sender.push";
         let ok =
           match push_update client u with
           | () -> true
           | exception Rpc.Rpc_error _ -> false
         in
-        Mutex.lock peer.p_mutex;
+        Sdb_check.Mu.lock peer.p_mutex;
         peer.p_sending <- false;
         if ok then begin
           if peer.p_acked = lsn then peer.p_acked <- lsn + 1;
           (* The front is still our entry unless an overflow cleared
              the queue mid-flight. *)
-          (match Queue.peek_opt peer.p_queue with
-          | Some (l, _) when l = lsn -> ignore (Queue.pop peer.p_queue)
+          (match Queue.peek_opt (queue ()) with
+          | Some (l, _) when l = lsn -> ignore (Queue.pop (queue ()))
           | _ -> ());
           Metrics.incr m_pushes
         end
         else begin
           peer.p_reachable <- false;
           peer.p_lagging <- true;
-          Queue.clear peer.p_queue;
+          Queue.clear (queue ());
           Metrics.incr m_push_failures
         end;
         refresh_gauges_locked peer ~tip:(local_lsn t);
         Condition.broadcast peer.p_cond;
-        Mutex.unlock peer.p_mutex;
+        Sdb_check.Mu.unlock peer.p_mutex;
         loop ()
       end
     end
@@ -159,17 +160,18 @@ let sender_loop t peer =
 let on_commit t lsn u =
   List.iter
     (fun peer ->
-      Mutex.lock peer.p_mutex;
+      Sdb_check.Mu.lock peer.p_mutex;
+      let queue = Sdb_check.Guarded.get peer.p_queue in
       (if peer.p_reachable && not peer.p_lagging then begin
-         let expected = peer.p_acked + Queue.length peer.p_queue in
+         let expected = peer.p_acked + Queue.length queue in
          if expected = lsn then begin
-           if Queue.length peer.p_queue >= peer.p_capacity then begin
+           if Queue.length queue >= peer.p_capacity then begin
              peer.p_lagging <- true;
-             Queue.clear peer.p_queue;
+             Queue.clear queue;
              Metrics.incr m_overflows
            end
            else begin
-             Queue.push (lsn, u) peer.p_queue;
+             Queue.push (lsn, u) queue;
              Condition.broadcast peer.p_cond
            end
          end
@@ -180,7 +182,7 @@ let on_commit t lsn u =
          (* expected > lsn: stale duplicate notification; ignore. *)
        end);
       refresh_gauges_locked peer ~tip:(lsn + 1);
-      Mutex.unlock peer.p_mutex)
+      Sdb_check.Mu.unlock peer.p_mutex)
     (all_peers t)
 
 let create ~id ns =
@@ -188,7 +190,7 @@ let create ~id ns =
     {
       replica_id = id;
       ns;
-      peers_mutex = Mutex.create ();
+      peers_mutex = Sdb_check.Mu.make "replica.peers";
       peer_list = [];
       subscription = None;
     }
@@ -202,6 +204,7 @@ let local t = t.ns
 let add_peer ?acked_lsn ?(outbox_capacity = default_outbox_capacity) t ~id client =
   if outbox_capacity < 1 then invalid_arg "Replica.add_peer: outbox_capacity < 1";
   let acked = Option.value acked_lsn ~default:(local_lsn t) in
+  let p_mutex = Sdb_check.Mu.make "replica.peer" in
   let peer =
     {
       p_id = id;
@@ -217,33 +220,35 @@ let add_peer ?acked_lsn ?(outbox_capacity = default_outbox_capacity) t ~id clien
         Metrics.gauge "sdb_replica_outbox_depth"
           ~help:"Updates queued in the peer's outbox."
           ~labels:[ ("replica", t.replica_id); ("peer", id) ];
-      p_queue = Queue.create ();
+      p_queue =
+        Sdb_check.Guarded.create ~by:p_mutex ~name:"replica.outbox"
+          (Queue.create ());
       p_capacity = outbox_capacity;
-      p_mutex = Mutex.create ();
+      p_mutex;
       p_cond = Condition.create ();
       p_sending = false;
       p_stop = false;
       p_thread = None;
     }
   in
-  refresh_gauges_locked peer ~tip:(local_lsn t);
+  Sdb_check.Mu.with_lock peer.p_mutex (fun () ->
+      refresh_gauges_locked peer ~tip:(local_lsn t));
   peer.p_thread <- Some (Thread.create (fun () -> sender_loop t peer) ());
-  Mutex.lock t.peers_mutex;
-  t.peer_list <- t.peer_list @ [ peer ];
-  Mutex.unlock t.peers_mutex
+  Sdb_check.Mu.with_lock t.peers_mutex (fun () ->
+      t.peer_list <- t.peer_list @ [ peer ])
 
 let reconnect t ~id client =
   match List.find_opt (fun p -> String.equal p.p_id id) (all_peers t) with
   | None -> invalid_arg (Printf.sprintf "Replica.reconnect: unknown peer %S" id)
   | Some peer ->
-    Mutex.lock peer.p_mutex;
-    peer.p_client <- client;
-    peer.p_reachable <- true;
-    (* Whatever the outbox held was meant for the dead connection;
-       anti-entropy (or the next contiguous commit) resumes delivery. *)
-    Queue.clear peer.p_queue;
-    refresh_gauges_locked peer ~tip:(local_lsn t);
-    Mutex.unlock peer.p_mutex
+    Sdb_check.Mu.with_lock peer.p_mutex (fun () ->
+        peer.p_client <- client;
+        peer.p_reachable <- true;
+        (* Whatever the outbox held was meant for the dead connection;
+           anti-entropy (or the next contiguous commit) resumes
+           delivery. *)
+        Queue.clear (Sdb_check.Guarded.get peer.p_queue);
+        refresh_gauges_locked peer ~tip:(local_lsn t))
 
 let update t u = Ns.Db.update (Ns.db t.ns) u
 let set_value t path v = update t (Ns.Set_value (path, v))
@@ -256,15 +261,17 @@ let catch_up t peer =
   (* Park the eager sender and wait out any in-flight push, so the
      catch-up RPCs cannot interleave with an eager push: out-of-order
      delivery of two assignments to one path would revert it. *)
-  Mutex.lock peer.p_mutex;
+  Sdb_check.Mu.lock peer.p_mutex;
   peer.p_lagging <- true;
   while peer.p_sending do
-    Condition.wait peer.p_cond peer.p_mutex
+    Sdb_check.Mu.wait peer.p_cond peer.p_mutex
   done;
-  Queue.clear peer.p_queue;
+  Queue.clear (Sdb_check.Guarded.get peer.p_queue);
   let client = peer.p_client in
   let acked0 = peer.p_acked in
-  Mutex.unlock peer.p_mutex;
+  Sdb_check.Mu.unlock peer.p_mutex;
+  (* The whole catch-up conversation is network I/O. *)
+  Sdb_check.assert_no_mutex_held_during_io ~site:"replica.catch_up";
   let outcome =
     if acked0 >= local_lsn t then `Caught_up acked0
     else
@@ -289,7 +296,7 @@ let catch_up t peer =
         in
         replay acked0 entries)
   in
-  Mutex.lock peer.p_mutex;
+  Sdb_check.Mu.lock peer.p_mutex;
   (match outcome with
   | `Caught_up acked ->
     peer.p_acked <- max peer.p_acked acked;
@@ -301,7 +308,7 @@ let catch_up t peer =
     Metrics.incr m_push_failures);
   refresh_gauges_locked peer ~tip:(local_lsn t);
   Condition.broadcast peer.p_cond;
-  Mutex.unlock peer.p_mutex
+  Sdb_check.Mu.unlock peer.p_mutex
 
 let anti_entropy t = List.iter (catch_up t) (all_peers t)
 
@@ -312,30 +319,28 @@ let peers t =
   let tip = local_lsn t in
   List.map
     (fun p ->
-      Mutex.lock p.p_mutex;
-      let r =
-        {
-          peer_id = p.p_id;
-          reachable = p.p_reachable;
-          lagging = p.p_lagging;
-          backlog = max 0 (tip - p.p_acked);
-          queued = Queue.length p.p_queue;
-        }
-      in
-      Mutex.unlock p.p_mutex;
-      r)
+      Sdb_check.Mu.with_lock p.p_mutex (fun () ->
+          {
+            peer_id = p.p_id;
+            reachable = p.p_reachable;
+            lagging = p.p_lagging;
+            backlog = max 0 (tip - p.p_acked);
+            queued = Queue.length (Sdb_check.Guarded.get p.p_queue);
+          }))
     (all_peers t)
 
 let flush ?(timeout_s = 5.0) t =
   let deadline = Unix.gettimeofday () +. timeout_s in
   let rec wait_peer peer =
-    Mutex.lock peer.p_mutex;
     let state =
-      if peer.p_lagging || not peer.p_reachable then `Parked
-      else if Queue.is_empty peer.p_queue && not peer.p_sending then `Drained
-      else `Busy
+      Sdb_check.Mu.with_lock peer.p_mutex (fun () ->
+          if peer.p_lagging || not peer.p_reachable then `Parked
+          else if
+            Queue.is_empty (Sdb_check.Guarded.get peer.p_queue)
+            && not peer.p_sending
+          then `Drained
+          else `Busy)
     in
-    Mutex.unlock peer.p_mutex;
     match state with
     | `Drained -> true
     | `Parked -> false
@@ -355,10 +360,9 @@ let shutdown t =
   t.subscription <- None;
   List.iter
     (fun peer ->
-      Mutex.lock peer.p_mutex;
-      peer.p_stop <- true;
-      Condition.broadcast peer.p_cond;
-      Mutex.unlock peer.p_mutex;
+      Sdb_check.Mu.with_lock peer.p_mutex (fun () ->
+          peer.p_stop <- true;
+          Condition.broadcast peer.p_cond);
       (* Closing the client wakes a sender blocked in recv. *)
       (try Proto.Client.close peer.p_client with Rpc.Rpc_error _ -> ());
       match peer.p_thread with

@@ -47,58 +47,64 @@ end
 module Bqueue = struct
   type 'a t = {
     q : 'a Queue.t;
-    m : Mutex.t;
+    m : Sdb_check.Mu.t;
     c : Condition.t;
     mutable closed : bool;
   }
 
-  let create () = { q = Queue.create (); m = Mutex.create (); c = Condition.create (); closed = false }
+  let create () =
+    {
+      q = Queue.create ();
+      m = Sdb_check.Mu.make "rpc.bqueue";
+      c = Condition.create ();
+      closed = false;
+    }
 
   let push t v =
-    Mutex.lock t.m;
+    Sdb_check.Mu.lock t.m;
     if t.closed then begin
-      Mutex.unlock t.m;
+      Sdb_check.Mu.unlock t.m;
       err "transport closed"
     end;
     Queue.push v t.q;
     Condition.signal t.c;
-    Mutex.unlock t.m
+    Sdb_check.Mu.unlock t.m
 
   let pop ?timeout_s t =
     match timeout_s with
     | None ->
-      Mutex.lock t.m;
+      Sdb_check.Mu.lock t.m;
       let rec wait () =
         if not (Queue.is_empty t.q) then Queue.pop t.q
         else if t.closed then begin
-          Mutex.unlock t.m;
+          Sdb_check.Mu.unlock t.m;
           err "transport closed"
         end
         else begin
-          Condition.wait t.c t.m;
+          Sdb_check.Mu.wait t.c t.m;
           wait ()
         end
       in
       let v = wait () in
-      Mutex.unlock t.m;
+      Sdb_check.Mu.unlock t.m;
       v
     | Some dt ->
       (* OCaml's [Condition] has no timed wait; a fine-grained poll is
          adequate for the in-process transport's deadline support. *)
       let deadline = Unix.gettimeofday () +. dt in
       let rec wait () =
-        Mutex.lock t.m;
+        Sdb_check.Mu.lock t.m;
         if not (Queue.is_empty t.q) then begin
           let v = Queue.pop t.q in
-          Mutex.unlock t.m;
+          Sdb_check.Mu.unlock t.m;
           v
         end
         else if t.closed then begin
-          Mutex.unlock t.m;
+          Sdb_check.Mu.unlock t.m;
           err "transport closed"
         end
         else begin
-          Mutex.unlock t.m;
+          Sdb_check.Mu.unlock t.m;
           if Unix.gettimeofday () >= deadline then
             err "%s" Transport.deadline_exceeded
           else begin
@@ -110,10 +116,10 @@ module Bqueue = struct
       wait ()
 
   let close t =
-    Mutex.lock t.m;
+    Sdb_check.Mu.lock t.m;
     t.closed <- true;
     Condition.broadcast t.c;
-    Mutex.unlock t.m
+    Sdb_check.Mu.unlock t.m
 end
 
 module Inproc = struct
@@ -210,7 +216,11 @@ module Socket = struct
     }
 
   let listen ~path serve_conn =
-    if Sys.file_exists path then Unix.unlink path;
+    if Sys.file_exists path then
+      (Unix.unlink path
+      [@sdb.lint.allow
+        "unix-io: removes a stale unix-domain socket, not a data file; Fs \
+         decorates data-path I/O only"]);
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     Unix.bind fd (Unix.ADDR_UNIX path);
     Unix.listen fd 16;
@@ -376,7 +386,11 @@ module Client = struct
     deadline_s : float option;
     retry : retry_policy;
     reconnect : (unit -> Transport.t) option;
-    mutex : Mutex.t;
+    (* Held across the whole call, transport I/O included: that IS the
+       per-connection serialization contract, so the engine-side
+       no-mutex-during-io assertion is deliberately not applied to the
+       RPC transport layer (DESIGN.md §5). *)
+    mutex : Sdb_check.Mu.t;
     mutable next_id : int;
     mutable n_calls : int;
     mutable is_broken : bool;
@@ -392,7 +406,7 @@ module Client = struct
       deadline_s;
       retry;
       reconnect;
-      mutex = Mutex.create ();
+      mutex = Sdb_check.Mu.make "rpc.client";
       next_id = 0;
       n_calls = 0;
       is_broken = false;
@@ -462,9 +476,9 @@ module Client = struct
      error returns at once, and a non-idempotent call is never
      re-sent — the first attempt may have executed. *)
   let call ?(idempotent = false) t ~meth arg_codec ret_codec a =
-    Mutex.lock t.mutex;
+    Sdb_check.Mu.lock t.mutex;
     Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.mutex)
+      ~finally:(fun () -> Sdb_check.Mu.unlock t.mutex)
       (fun () ->
         let attempts = if idempotent then t.retry.max_attempts else 1 in
         let rec go n backoff =

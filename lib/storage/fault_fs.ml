@@ -10,7 +10,7 @@ type fault = {
 type t = {
   inner : Fs.t;
   rng : Random.State.t;
-  lock : Mutex.t;
+  lock : Sdb_check.Mu.t;
   mutable scheduled : fault list;
   mutable rate_read : float;
   mutable rate_write : float;
@@ -25,9 +25,7 @@ type t = {
   mutable n_injected : int;
 }
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let locked t f = Sdb_check.Mu.with_lock t.lock f
 
 let op_name = function `Read -> "read" | `Write -> "write" | `Sync -> "fsync"
 
@@ -112,7 +110,7 @@ let wrap ?(seed = 0) inner =
     {
       inner;
       rng = Random.State.make [| seed; 0x4661756c |];
-      lock = Mutex.create ();
+      lock = Sdb_check.Mu.make "storage.fault_fs";
       scheduled = [];
       rate_read = 0.;
       rate_write = 0.;

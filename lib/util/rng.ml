@@ -1,4 +1,10 @@
-type t = { mutable state : int64 }
+type t = {
+  mutable state : int64;
+  (* Per-generator memo of the last Zipf parameters (see [zipf]): a
+     generator is owned by one thread, so unlike a global cache this
+     needs no lock, and a workload draws from one (n, theta). *)
+  mutable zipf_memo : (int * float * (float * float * float)) option;
+}
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
@@ -7,13 +13,13 @@ let mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let create ~seed = { state = mix (Int64.of_int seed) }
+let create ~seed = { state = mix (Int64.of_int seed); zipf_memo = None }
 
 let next_int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state
 
-let split t = { state = next_int64 t }
+let split t = { state = next_int64 t; zipf_memo = None }
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
@@ -49,19 +55,17 @@ let shuffle t arr =
 
 (* Zipf via the classic Gray et al. rejection-free approximation: compute
    the generalized harmonic number once per (n, theta) and invert the CDF
-   with the two-point shortcut.  Cached because benches draw millions. *)
-let zipf_cache : (int * float, float * float * float) Hashtbl.t = Hashtbl.create 7
-
+   with the two-point shortcut.  Memoized per generator because benches
+   draw millions. *)
 let zipf t ~n ~theta =
   if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
   if theta < 0.0 || theta >= 1.0 then invalid_arg "Rng.zipf: theta in [0,1)";
   if theta = 0.0 then int t n
   else begin
-    let key = (n, theta) in
     let zetan, eta, alpha =
-      match Hashtbl.find_opt zipf_cache key with
-      | Some v -> v
-      | None ->
+      match t.zipf_memo with
+      | Some (n', theta', v) when n' = n && theta' = theta -> v
+      | _ ->
         let zeta m =
           let acc = ref 0.0 in
           for i = 1 to m do
@@ -76,7 +80,7 @@ let zipf t ~n ~theta =
           (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
           /. (1.0 -. (zeta2 /. zetan))
         in
-        Hashtbl.replace zipf_cache key (zetan, eta, alpha);
+        t.zipf_memo <- Some (n, theta, (zetan, eta, alpha));
         (zetan, eta, alpha)
     in
     let u = float t 1.0 in

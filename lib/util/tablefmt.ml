@@ -54,8 +54,6 @@ let render ?align ~header rows =
   List.iter (fun row -> Buffer.add_string out (emit_row row)) rows;
   Buffer.contents out
 
-let print ?align ~header rows = print_string (render ?align ~header rows)
-
 let fmt_ms ms =
   if ms >= 1000.0 then Printf.sprintf "%.2f s" (ms /. 1000.0)
   else if ms >= 100.0 then Printf.sprintf "%.0f ms" ms

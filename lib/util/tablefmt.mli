@@ -8,9 +8,6 @@ val render : ?align:align list -> header:string list -> string list list -> stri
     columns.  [align] gives per-column alignment (default: first column
     left, the rest right, matching numeric tables). *)
 
-val print : ?align:align list -> header:string list -> string list list -> unit
-(** {!render} followed by [print_string]. *)
-
 val fmt_ms : float -> string
 (** Milliseconds with adaptive precision, e.g. ["0.042 ms"], ["54.0 ms"],
     ["1.20 s"]. *)

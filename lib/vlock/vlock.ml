@@ -10,6 +10,7 @@ type stats = {
 }
 
 type t = {
+  san : Sdb_check.lock;
   mutex : Mutex.t;
   changed : Condition.t;
   mutable n_readers : int;
@@ -63,8 +64,14 @@ let m_upgrades =
   Metrics.counter "sdb_lock_upgrades_total"
     ~help:"Update-to-exclusive lock upgrades."
 
-let create () =
+let san_mode = function
+  | Shared -> Sdb_check.Shared
+  | Update -> Sdb_check.Update
+  | Exclusive -> Sdb_check.Exclusive
+
+let create ?(name = "vlock") () =
   {
+    san = Sdb_check.make_lock ~kind:`Vlock ("vlock:" ^ name);
     mutex = Mutex.create ();
     changed = Condition.create ();
     n_readers = 0;
@@ -87,6 +94,9 @@ let locked t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
 let acquire t mode =
+  (* Report to the sanitizer before blocking: its lock-order cycle
+     check then fires before the deadlock it predicts can bite. *)
+  Sdb_check.note_acquire t.san (san_mode mode);
   (* The timestamps exist only to feed the wait/hold histograms; skip
      the gettimeofday calls entirely when the registry is off. *)
   let timed = Metrics.is_enabled () in
@@ -160,7 +170,8 @@ let release t mode =
         t.excl <- false;
         if timed && t.excl_since > 0.0 then
           Metrics.observe hold_exclusive (now -. t.excl_since));
-      Condition.broadcast t.changed)
+      Condition.broadcast t.changed);
+  Sdb_check.note_release t.san (san_mode mode)
 
 let upgrade t =
   let timed = Metrics.is_enabled () in
@@ -180,6 +191,7 @@ let upgrade t =
         if t.upd_since > 0.0 then Metrics.observe hold_update (now -. t.upd_since);
         t.excl_since <- now
       end);
+  Sdb_check.note_upgrade t.san;
   Metrics.incr m_upgrades
 
 let downgrade t =
@@ -193,12 +205,14 @@ let downgrade t =
         if t.excl_since > 0.0 then Metrics.observe hold_exclusive (now -. t.excl_since);
         t.upd_since <- now
       end;
-      Condition.broadcast t.changed)
+      Condition.broadcast t.changed);
+  Sdb_check.note_downgrade t.san
 
 let with_lock t mode f =
   acquire t mode;
   Fun.protect ~finally:(fun () -> release t mode) f
 
+let sanitizer t = t.san
 let readers t = locked t (fun () -> t.n_readers)
 let update_held t = locked t (fun () -> t.upd)
 let exclusive_held t = locked t (fun () -> t.excl)

@@ -28,7 +28,11 @@ type t
 
 type mode = Shared | Update | Exclusive
 
-val create : unit -> t
+(** [create ?name ()] — [name] (default ["vlock"]) labels this
+    instance's class in the {!Sdb_check} lock-order graph and in
+    violation reports, as ["vlock:<name>"].  Give each database its
+    application name so a report reads ["vlock:ns"], not ["vlock"]. *)
+val create : ?name:string -> unit -> t
 val acquire : t -> mode -> unit
 val release : t -> mode -> unit
 
@@ -50,6 +54,12 @@ val with_lock : t -> mode -> (unit -> 'a) -> 'a
     [sdb_lock_hold_seconds{mode}] for the writer modes, and
     [sdb_lock_upgrades_total].  With the registry disabled the lock
     takes no timestamps. *)
+
+val sanitizer : t -> Sdb_check.lock
+(** The lock's handle in the {!Sdb_check} registry.  Engine code passes
+    it to [Sdb_check.assert_mode] to declare the mode a touch point
+    requires; every [acquire]/[release]/[upgrade]/[downgrade] already
+    reports, so the assertion sees the true held mode. *)
 
 val readers : t -> int
 val update_held : t -> bool

@@ -129,6 +129,7 @@ module Writer = struct
   let append t payload =
     check t;
     check_no_group t "append";
+    Sdb_check.assert_no_mutex_held_during_io ~site:"wal.append";
     Buffer.clear t.pending;
     frame_into t.pending payload;
     let framed = Buffer.contents t.pending in
@@ -148,6 +149,7 @@ module Writer = struct
     check t;
     check_no_group t "append_raw_frames";
     if count < 0 then invalid_arg "Wal.Writer.append_raw_frames: negative count";
+    Sdb_check.assert_no_mutex_held_during_io ~site:"wal.append_raw_frames";
     write_rollback t raw;
     Metrics.add m_appends count;
     Metrics.add m_appended_bytes (String.length raw);
@@ -168,6 +170,7 @@ module Writer = struct
 
   let sync t =
     check t;
+    Sdb_check.assert_no_mutex_held_during_io ~site:"wal.sync";
     let timed = Metrics.is_enabled () in
     let t0 = if timed then Unix.gettimeofday () else 0.0 in
     t.w.Fs.w_sync ();
@@ -192,6 +195,7 @@ module Writer = struct
     let count = t.pending_frames in
     if count = 0 then (t.entries, 0)
     else begin
+      Sdb_check.assert_no_mutex_held_during_io ~site:"wal.flush_group";
       let raw = Buffer.contents t.pending in
       discard_group t;
       let timed = Metrics.is_enabled () in

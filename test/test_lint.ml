@@ -1,0 +1,142 @@
+(* sdb_lint's suite: each rule must fire on a seeded violation, honor
+   its waiver attribute, and stay quiet on disciplined code.  The
+   built-in self-test (what CI runs before trusting the gate) must
+   pass, and the real tree must lint clean. *)
+
+let check = Alcotest.check
+
+let rules_of ~path src =
+  Sdb_lint.lint_source ~path src
+  |> List.map (fun f -> f.Sdb_lint.f_rule)
+  |> List.sort_uniq compare
+
+let test_unix_io () =
+  check
+    Alcotest.(list string)
+    "flagged outside lib/storage" [ "unix-io" ]
+    (rules_of ~path:"lib/core/x.ml"
+       "let f path = Unix.openfile path [ Unix.O_RDWR ] 0o644");
+  check
+    Alcotest.(list string)
+    "exempt inside lib/storage" []
+    (rules_of ~path:"lib/storage/x.ml"
+       "let f path = Unix.openfile path [ Unix.O_RDWR ] 0o644");
+  check
+    Alcotest.(list string)
+    "waivable" []
+    (rules_of ~path:"lib/rpc/x.ml"
+       "let f path = (Unix.unlink path [@sdb.lint.allow \"unix-io: socket\"])")
+
+let test_mutex_pairing () =
+  check
+    Alcotest.(list string)
+    "unpaired lock flagged" [ "mutex-pairing" ]
+    (rules_of ~path:"lib/core/x.ml" "let f m = Mutex.lock m; work ()");
+  check
+    Alcotest.(list string)
+    "paired is clean" []
+    (rules_of ~path:"lib/core/x.ml"
+       "let f m = Mutex.lock m; work (); Mutex.unlock m");
+  check
+    Alcotest.(list string)
+    "with_lock is clean" []
+    (rules_of ~path:"lib/core/x.ml"
+       "let f m = Sdb_check.Mu.with_lock m (fun () -> work ())");
+  (* The pair must be on the same lock expression, not merely the same
+     count of locks and unlocks. *)
+  check
+    Alcotest.(list string)
+    "mismatched locks flagged" [ "mutex-pairing" ]
+    (rules_of ~path:"lib/core/x.ml"
+       "let f a b = Mutex.lock a; Mutex.unlock b")
+
+let test_print_in_lib () =
+  check
+    Alcotest.(list string)
+    "print in lib flagged" [ "print-in-lib" ]
+    (rules_of ~path:"lib/util/x.ml" "let f () = print_endline \"hi\"");
+  check
+    Alcotest.(list string)
+    "print in bin allowed" []
+    (rules_of ~path:"bin/x.ml" "let f () = print_endline \"hi\"");
+  check
+    Alcotest.(list string)
+    "sprintf is not printing" []
+    (rules_of ~path:"lib/util/x.ml" "let f () = Printf.sprintf \"hi\"")
+
+let test_global_mutable () =
+  check
+    Alcotest.(list string)
+    "bare global ref flagged" [ "global-mutable" ]
+    (rules_of ~path:"lib/util/x.ml" "let cache = ref 0\nlet get () = !cache");
+  check
+    Alcotest.(list string)
+    "synchronized module is clean" []
+    (rules_of ~path:"lib/util/x.ml"
+       "let cache = ref 0\n\
+        let m = Mutex.create ()\n\
+        let get () = Mutex.lock m; let v = !cache in Mutex.unlock m; v");
+  check
+    Alcotest.(list string)
+    "local ref is fine" []
+    (rules_of ~path:"lib/util/x.ml"
+       "let f () = let acc = ref 0 in incr acc; !acc")
+
+let test_parse_error_is_a_finding () =
+  match Sdb_lint.lint_source ~path:"lib/x.ml" "let let let" with
+  | [ f ] -> check Alcotest.string "rule" "parse-error" f.Sdb_lint.f_rule
+  | fs -> Alcotest.failf "expected one parse-error finding, got %d" (List.length fs)
+
+let test_render () =
+  match Sdb_lint.lint_source ~path:"lib/util/x.ml" "let f () = print_string \"x\"" with
+  | [ f ] ->
+    let s = Sdb_lint.render f in
+    check Alcotest.bool "has location" true
+      (String.length s > 0 && s.[0] <> '[')
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+let test_self_test () =
+  match Sdb_lint.self_test () with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_tree_is_clean () =
+  (* The acceptance bar: the shipped tree lints clean.  Resolve lib/
+     and bin/ relative to the repo root (dune runs tests from a
+     sandbox under _build, so walk up until dune-project). *)
+  let rec find_root dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then None else find_root parent
+  in
+  match find_root (Sys.getcwd ()) with
+  | None -> () (* sandboxed without source tree access: covered by CI *)
+  | Some root ->
+    let dirs =
+      List.filter Sys.file_exists
+        [ Filename.concat root "lib"; Filename.concat root "bin" ]
+    in
+    let findings = Sdb_lint.lint_dirs dirs in
+    List.iter (fun f -> Printf.eprintf "%s\n" (Sdb_lint.render f)) findings;
+    check Alcotest.int "tree findings" 0 (List.length findings)
+
+let () =
+  Helpers.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "unix-io" `Quick test_unix_io;
+          Alcotest.test_case "mutex-pairing" `Quick test_mutex_pairing;
+          Alcotest.test_case "print-in-lib" `Quick test_print_in_lib;
+          Alcotest.test_case "global-mutable" `Quick test_global_mutable;
+          Alcotest.test_case "parse error is a finding" `Quick
+            test_parse_error_is_a_finding;
+          Alcotest.test_case "render" `Quick test_render;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "self test" `Quick test_self_test;
+          Alcotest.test_case "tree is clean" `Quick test_tree_is_clean;
+        ] );
+    ]

@@ -91,13 +91,19 @@ let test_exclusive_excludes_all () =
 let test_upgrade_waits_for_readers () =
   let l = Vlock.create () in
   Vlock.acquire l Vlock.Shared;
-  Vlock.acquire l Vlock.Update;
+  (* The updater runs on its own thread and owns the Update lock it
+     upgrades — the discipline the engine (and the sanitizer) demand. *)
   let upgraded = ref false in
+  let release_ok = ref false in
   let t =
     spawn (fun () ->
+        Vlock.acquire l Vlock.Update;
         Vlock.upgrade l;
-        upgraded := true)
+        upgraded := true;
+        wait_for "leader told to release" (fun () -> !release_ok);
+        Vlock.release l Vlock.Exclusive)
   in
+  wait_for "updater holds update" (fun () -> Vlock.update_held l);
   Thread.delay 0.05;
   check Alcotest.bool "upgrade waits" false !upgraded;
   (* New readers must not slip in while the upgrade is pending. *)
@@ -115,7 +121,7 @@ let test_upgrade_waits_for_readers () =
   wait_for "upgrade completes" (fun () -> !upgraded);
   check Alcotest.bool "now exclusive" true (Vlock.exclusive_held l);
   check Alcotest.bool "late reader still blocked" false !late_reader;
-  Vlock.release l Vlock.Exclusive;
+  release_ok := true;
   wait_for "late reader proceeds" (fun () -> !late_reader);
   Thread.join t;
   Thread.join t2
@@ -126,9 +132,13 @@ let test_downgrade () =
   Vlock.downgrade l;
   check Alcotest.bool "update held" true (Vlock.update_held l);
   check Alcotest.bool "not exclusive" false (Vlock.exclusive_held l);
-  (* Readers can come in now. *)
-  Vlock.acquire l Vlock.Shared;
-  Vlock.release l Vlock.Shared;
+  (* Readers can come in now — on their own thread, as in the engine. *)
+  let read = ref false in
+  let t =
+    spawn (fun () -> Vlock.with_lock l Vlock.Shared (fun () -> read := true))
+  in
+  wait_for "reader ran under update" (fun () -> !read);
+  Thread.join t;
   Vlock.release l Vlock.Update
 
 let test_misuse_detected () =
