@@ -23,8 +23,17 @@ let parse_path s =
 (* ------------------------------------------------------------------ *)
 (* serve                                                                *)
 
-let serve dir socket checkpoint_bytes retain metrics_interval scrub_interval =
+let serve dir socket checkpoint_bytes retain metrics_interval scrub_interval
+    trace_ring trace_slow_ms =
   let fs = Sdb_storage.Real_fs.create ~root:dir in
+  (* Arm the slow-span ring before opening the database so recovery
+     spans land in it too.  The ring is what the `traces` RPC verb and
+     sdb_top read. *)
+  if trace_ring > 0 then
+    Sdb_obs.Trace.set_sink
+      (Some
+         (Sdb_obs.Trace.Slow.install ~capacity:trace_ring
+            ~threshold_s:(trace_slow_ms /. 1000.0)));
   let config =
     {
       Smalldb.default_config with
@@ -168,6 +177,21 @@ let status socket =
 let metrics socket =
   with_client socket (fun c -> print_string (Proto.Client.metrics c))
 
+let traces socket max_n min_ms =
+  with_client socket (fun c ->
+      match Proto.Client.traces c ~max_n ~min_dur_s:(min_ms /. 1000.0) with
+      | [] -> print_endline "(no slow spans retained)"
+      | spans ->
+        List.iter
+          (fun (s : Sdb_obs.Trace.span) ->
+            let attrs =
+              String.concat ""
+                (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) s.attrs)
+            in
+            Printf.printf "%.6f %-14s %9.3fms%s\n" s.start_s s.name
+              (s.dur_s *. 1000.0) attrs)
+          spans)
+
 let print_scrub_report (r : Smalldb.scrub_report) =
   Printf.printf "scanned: %s\n" (String.concat " " r.Smalldb.scanned_files);
   Printf.printf "replay:  %s\n"
@@ -268,10 +292,24 @@ let serve_cmd =
             "Run a background integrity scrub (with automatic repair) every \
              SECS seconds.")
   in
+  let trace_ring =
+    Arg.(
+      value & opt int 512
+      & info [ "trace-ring" ] ~docv:"N"
+          ~doc:
+            "Keep the last N slow trace spans in memory, queryable with the \
+             traces command (0 disables tracing).")
+  in
+  let trace_slow_ms =
+    Arg.(
+      value & opt float 1.0
+      & info [ "trace-slow-ms" ] ~docv:"MS"
+          ~doc:"Retain only spans at least MS milliseconds long.")
+  in
   Cmd.v (Cmd.info "serve" ~doc:"Run the name server.")
     Term.(
       const serve $ dir $ socket_arg $ ckpt $ retain $ metrics_interval
-      $ scrub_interval)
+      $ scrub_interval $ trace_ring $ trace_slow_ms)
 
 let client_cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 
@@ -320,6 +358,17 @@ let cmds =
       Term.(const status $ conn_arg);
     client_cmd "metrics" "Print the server's metrics registry (Prometheus text)."
       Term.(const metrics $ conn_arg);
+    client_cmd "traces"
+      "Print the server's recent slow trace spans (newest first)."
+      Term.(
+        const traces $ conn_arg
+        $ Arg.(
+            value & opt int 32
+            & info [ "max" ] ~docv:"N" ~doc:"At most N spans.")
+        $ Arg.(
+            value & opt float 0.0
+            & info [ "min-ms" ] ~docv:"MS"
+                ~doc:"Only spans at least MS milliseconds long."));
     Cmd.v
       (Cmd.info "scrub"
          ~doc:

@@ -788,6 +788,8 @@ module Make (App : APP) = struct
      The leader raises its own failure exactly as a solo updater
      would; it returns normally only when the whole group committed. *)
   let lead t (g : group) =
+    let traced = Trace.active () in
+    let t_join0 = if traced then now () else 0.0 in
     Sdb_check.Mu.lock t.gc_mutex;
     while Sdb_check.Guarded.get t.gc_committing do
       Sdb_check.Mu.wait t.gc_cond t.gc_mutex
@@ -808,6 +810,12 @@ module Make (App : APP) = struct
     do
       Thread.yield ()
     done;
+    (* The leader's "join" phase is the commit-slot wait plus the
+       linger; a member's (below) is its park on the group outcome. *)
+    if traced then
+      Trace.span "update.join"
+        ~attrs:[ ("app", App.name); ("role", "leader") ]
+        ~start_s:t_join0 ~dur_s:(now () -. t_join0);
     Vlock.acquire t.lock Vlock.Update;
     let held = ref (Some Vlock.Update) in
     let release () =
@@ -872,7 +880,15 @@ module Make (App : APP) = struct
            members;
          let da = now () -. t0 in
          t.t_apply <- t.t_apply +. da;
-         Metrics.observe m_phase_apply da
+         Metrics.observe m_phase_apply da;
+         if traced then
+           Trace.span "update.apply"
+             ~attrs:
+               [
+                 ("app", App.name);
+                 ("group_size", string_of_int (List.length members));
+               ]
+             ~start_s:t0 ~dur_s:da
        with e -> fail_all ~poison:true ~leader:e Poisoned);
       let base = t.lsn in
       let assigned =
@@ -913,10 +929,17 @@ module Make (App : APP) = struct
          commit slot is still held, so groups notify in LSN order; a
          raising subscriber propagates to the leader's caller (the
          whole group is already durable, applied, and awake). *)
-      List.iter
-        (fun (m, first) ->
-          List.iteri (fun i u -> notify t (first + i) u) m.m_updates)
-        assigned;
+      Trace.with_span "update.notify"
+        ~attrs:
+          [
+            ("app", App.name);
+            ("group_size", string_of_int (List.length assigned));
+          ]
+        (fun () ->
+          List.iter
+            (fun (m, first) ->
+              List.iteri (fun i u -> notify t (first + i) u) m.m_updates)
+            assigned);
       maybe_auto_checkpoint t
 
   (* One participant: verify + pickle under the Update lock, join the
@@ -993,12 +1016,20 @@ module Make (App : APP) = struct
       lead t g;
       Ok ()
     | Ok (m, None) ->
+      let traced = Trace.active () in
+      let t_park0 = if traced then now () else 0.0 in
       Sdb_check.Mu.lock t.gc_mutex;
       while is_pending m do
         Sdb_check.Mu.wait t.gc_cond t.gc_mutex
       done;
       let o = m.m_outcome in
       Sdb_check.Mu.unlock t.gc_mutex;
+      (* The member's whole commit — verify done, parked while the
+         leader flushes and applies — shows up as this one span. *)
+      if traced then
+        Trace.span "update.join"
+          ~attrs:[ ("app", App.name); ("role", "member") ]
+          ~start_s:t_park0 ~dur_s:(now () -. t_park0);
       (match o with
       | M_committed _ -> Ok ()
       | M_failed e -> raise e
@@ -1139,7 +1170,8 @@ module Make (App : APP) = struct
             release Vlock.Exclusive;
             (* A raising subscriber propagates to the updater with no
                lock held; the update is already durable and applied. *)
-            notify t lsn u;
+            Trace.with_span "update.notify" ~attrs:span_attrs (fun () ->
+                notify t lsn u);
             Ok ())
     in
     (match verdict with Ok () -> maybe_auto_checkpoint t | Error _ -> ());

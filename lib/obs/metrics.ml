@@ -136,6 +136,39 @@ let histogram_snapshot h =
   Mutex.unlock h.h_mutex;
   s
 
+(* Registry-wide summary reads.  Lock order matches render: the
+   registry mutex first, then each series' h_mutex inside. *)
+
+let summaries () =
+  locked (fun () ->
+      Hashtbl.fold
+        (fun _ f acc ->
+          List.fold_left
+            (fun acc s ->
+              match s.data with
+              | Histogram h -> (f.f_name, s.labels, histogram_snapshot h) :: acc
+              | Counter _ | Gauge _ -> acc)
+            acc f.f_series)
+        registry []
+      |> List.sort compare)
+
+let merged_summary name =
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | None -> H.empty_snapshot
+      | Some f ->
+        let merged = H.create () in
+        List.iter
+          (fun s ->
+            match s.data with
+            | Histogram h ->
+              Mutex.lock h.h_mutex;
+              H.merge_into merged h.h_samples;
+              Mutex.unlock h.h_mutex
+            | Counter _ | Gauge _ -> ())
+          f.f_series;
+        H.snapshot merged)
+
 (* ------------------------------------------------------------------ *)
 (* Exposition                                                          *)
 
@@ -179,6 +212,7 @@ let render_series buf family { labels; data } =
     q "0.5" s.H.s_p50;
     q "0.9" s.H.s_p90;
     q "0.99" s.H.s_p99;
+    q "0.999" s.H.s_p999;
     line ~suffix:"_sum" (fmt_float s.H.s_total);
     line ~suffix:"_count" (string_of_int s.H.s_count);
     line ~suffix:"_min" (fmt_float s.H.s_min);

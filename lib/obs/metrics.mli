@@ -60,6 +60,18 @@ val counter_value : counter -> int
 val gauge_value : gauge -> float
 val histogram_snapshot : histogram -> Sdb_util.Histogram.snapshot
 
+val summaries : unit -> (string * labels * Sdb_util.Histogram.snapshot) list
+(** Every histogram series in the registry as
+    [(family, labels, snapshot)], sorted by family then labels — the
+    data behind a human-readable percentile table (sdb_inspect,
+    sdb_top) without parsing the text exposition. *)
+
+val merged_summary : string -> Sdb_util.Histogram.snapshot
+(** One snapshot over the union of all sample sets of the named
+    summary family (e.g. every [meth] series of
+    ["sdb_rpc_latency_seconds"] combined).  The empty snapshot when the
+    family does not exist or has only counter/gauge series. *)
+
 (** {1 Exposition} *)
 
 val register_collector : name:string -> (unit -> unit) -> unit
@@ -73,8 +85,8 @@ val register_collector : name:string -> (unit -> unit) -> unit
 val render : unit -> string
 (** The whole registry in Prometheus text format, deterministically
     ordered (families alphabetical, series by label value).  Histograms
-    render as summaries: [quantile="0.5"|"0.9"|"0.99"] series plus
-    [_sum], [_count], [_min] and [_max]. *)
+    render as summaries: [quantile="0.5"|"0.9"|"0.99"|"0.999"] series
+    plus [_sum], [_count], [_min] and [_max]. *)
 
 val reset : unit -> unit
 (** Zero every registered metric in place: counters and gauges to 0,

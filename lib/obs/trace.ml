@@ -14,8 +14,46 @@ let current : sink option Atomic.t = Atomic.make None
 let set_sink s = Atomic.set current s
 let active () = Atomic.get current <> None
 
+(* Per-thread request context: a request-handling thread tags itself
+   once, and every span it emits while handling that request carries a
+   ("req", id) attribute — that is what lets one slow RPC be decomposed
+   into its rpc/verify/join/flush/apply phases after the fact.  The
+   table is consulted only when a sink is installed. *)
+module Context = struct
+  let mu = Sdb_check.Mu.make "obs.trace.context"
+  let tbl : (int, string) Hashtbl.t = Hashtbl.create 32
+
+  let self () = Thread.id (Thread.self ())
+
+  let get () = Sdb_check.Mu.with_lock mu (fun () -> Hashtbl.find_opt tbl (self ()))
+
+  let set = function
+    | Some id -> Sdb_check.Mu.with_lock mu (fun () -> Hashtbl.replace tbl (self ()) id)
+    | None -> Sdb_check.Mu.with_lock mu (fun () -> Hashtbl.remove tbl (self ()))
+end
+
+let current_request () = if active () then Context.get () else None
+
+let with_request id f =
+  if not (active ()) then f ()
+  else begin
+    let prev = Context.get () in
+    Context.set (Some id);
+    Fun.protect ~finally:(fun () -> Context.set prev) f
+  end
+
 let emit span =
-  match Atomic.get current with None -> () | Some sink -> sink span
+  match Atomic.get current with
+  | None -> ()
+  | Some sink ->
+    let span =
+      if List.mem_assoc "req" span.attrs then span
+      else
+        match Context.get () with
+        | None -> span
+        | Some id -> { span with attrs = ("req", id) :: span.attrs }
+    in
+    sink span
 
 let span ?(attrs = []) name ~start_s ~dur_s = emit { name; start_s; dur_s; attrs }
 
@@ -42,6 +80,8 @@ let with_span ?(attrs = []) name f =
 (* Sinks                                                               *)
 
 let null_sink (_ : span) = ()
+
+let tee sinks s = List.iter (fun sink -> sink s) sinks
 
 let stderr_sink () =
   let m = Sdb_check.Mu.make "obs.trace.sink" in
@@ -119,4 +159,45 @@ module Ring = struct
     Sdb_check.Mu.with_lock t.mutex (fun () ->
         Array.fill t.buf 0 (Array.length t.buf) None;
         t.next <- 0)
+
+  let recent ?(min_dur_s = 0.0) ~max_n t =
+    if max_n <= 0 then []
+    else
+      Sdb_check.Mu.with_lock t.mutex (fun () ->
+          let cap = Array.length t.buf in
+          let count = min t.next cap in
+          let rec go i acc taken =
+            if i < 0 || taken >= max_n then List.rev acc
+            else
+              match t.buf.((t.next - count + i) mod cap) with
+              | Some s when s.dur_s >= min_dur_s ->
+                go (i - 1) (s :: acc) (taken + 1)
+              | Some _ | None -> go (i - 1) acc taken
+          in
+          (* Walk newest to oldest so [max_n] keeps the most recent
+             matches; the accumulator is built oldest-at-head, so the
+             [List.rev] at termination yields newest-first. *)
+          go (count - 1) [] 0)
+end
+
+(* The process-global slow-span ring: one ring (installed by the
+   server) that keeps the last spans slower than a threshold, so "what
+   was slow recently?" is answerable over RPC without a tracing
+   pipeline.  The sink returned by [install] still has to be put in
+   place with {!set_sink} (composing with others via {!tee}). *)
+module Slow = struct
+  let installed : (Ring.t * float) option Atomic.t = Atomic.make None
+
+  let install ~capacity ~threshold_s =
+    let r = Ring.create ~capacity in
+    Atomic.set installed (Some (r, threshold_s));
+    fun s -> if s.dur_s >= threshold_s then Ring.sink r s
+
+  let threshold_s () =
+    match Atomic.get installed with None -> None | Some (_, t) -> Some t
+
+  let recent ?min_dur_s ~max_n () =
+    match Atomic.get installed with
+    | None -> []
+    | Some (r, _) -> Ring.recent ?min_dur_s ~max_n r
 end

@@ -41,12 +41,36 @@ val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
     [("error", exception)] attribute, and the exception is re-raised.
     When tracing is inactive the thunk runs untimed. *)
 
+(** {1 Per-request context}
+
+    A request-handling thread tags itself with a request id for the
+    duration of one request; every span emitted from that thread (by
+    any layer it calls into) then carries a [("req", id)] attribute.
+    Filtering a sink's output on one id decomposes that request into
+    its phases — rpc handling, commit-coordinator join, WAL flush,
+    apply.  Spans emitted on behalf of a whole commit group (the
+    leader's flush/apply) carry the {e leader's} id plus a
+    [group_size] attribute. *)
+
+val with_request : string -> (unit -> 'a) -> 'a
+(** Run the thunk with the calling thread's request context set to the
+    given id (restoring the previous context after, so nesting works).
+    A no-op wrapper when tracing is inactive. *)
+
+val current_request : unit -> string option
+(** The calling thread's request id, if tracing is active and a
+    {!with_request} is in flight. *)
+
 (** {1 Sinks} *)
 
 val null_sink : sink
 (** Swallows everything.  [set_sink (Some null_sink)] keeps tracing
     "on" (spans are built and delivered) at minimal cost — used to
     measure instrumentation overhead. *)
+
+val tee : sink list -> sink
+(** Deliver every span to each sink in order (e.g. the slow-span ring
+    plus a jsonl file). *)
 
 val stderr_sink : unit -> sink
 (** Human-readable one-line-per-span pretty printer:
@@ -59,7 +83,7 @@ val jsonl_sink : out_channel -> sink
     line.  The caller owns the channel. *)
 
 module Ring : sig
-  (** A bounded in-memory span buffer, for tests: keeps the most recent
+  (** A bounded in-memory span buffer: keeps the most recent
       [capacity] spans, oldest first. *)
 
   type t
@@ -70,5 +94,30 @@ module Ring : sig
   (** Oldest-to-newest; at most [capacity] spans (older ones are
       truncated away). *)
 
+  val recent : ?min_dur_s:float -> max_n:int -> t -> span list
+  (** The most recent (up to) [max_n] spans with duration at least
+      [min_dur_s] (default 0), newest first. *)
+
   val clear : t -> unit
+end
+
+module Slow : sig
+  (** The process-global slow-span ring: bounded memory for "what was
+      slow recently?", queryable without a tracing pipeline (the name
+      server exposes it over the [traces] RPC verb). *)
+
+  val install : capacity:int -> threshold_s:float -> sink
+  (** Create a fresh ring, register it as the process-global slow-span
+      ring (replacing any previous one), and return a sink that keeps
+      only spans of duration ≥ [threshold_s].  The sink still has to
+      be put in place with {!set_sink}, alone or under {!tee}. *)
+
+  val threshold_s : unit -> float option
+  (** The installed ring's threshold, or [None] when no ring is
+      installed. *)
+
+  val recent : ?min_dur_s:float -> max_n:int -> unit -> span list
+  (** The most recent (up to) [max_n] retained spans with duration at
+      least [min_dur_s], newest first; [[]] when no ring is
+      installed. *)
 end

@@ -34,6 +34,16 @@ let codec_scrub_report =
         scrub_duration_s;
       })
 
+let codec_span =
+  P.record4 "ns.span"
+    (P.field "name" P.string (fun (s : Sdb_obs.Trace.span) -> s.name))
+    (P.field "start_s" P.float (fun (s : Sdb_obs.Trace.span) -> s.start_s))
+    (P.field "dur_s" P.float (fun (s : Sdb_obs.Trace.span) -> s.dur_s))
+    (P.field "attrs"
+       (P.list (P.pair P.string P.string))
+       (fun (s : Sdb_obs.Trace.span) -> s.attrs))
+    (fun name start_s dur_s attrs -> { Sdb_obs.Trace.name; start_s; dur_s; attrs })
+
 let codec_health =
   P.variant ~name:"ns.health"
     [
@@ -88,6 +98,12 @@ let handlers ns =
         let tree, _lsn = Ns.snapshot_with_lsn ns in
         Digest.string (P.encode codec_tree tree));
     h ~meth:"metrics" P.unit P.string (fun () -> Sdb_obs.Metrics.render ());
+    (* The last slow spans from the process-global ring (empty unless
+       the server installed one); the argument narrows the query. *)
+    h ~meth:"traces"
+      (P.pair P.int P.float)
+      (P.list codec_span)
+      (fun (max_n, min_dur_s) -> Sdb_obs.Trace.Slow.recent ~min_dur_s ~max_n ());
     (* One atomic call: the digest is of exactly the returned tree, so
        a repairing replica can verify the transfer. *)
     h ~meth:"fetch_state"
@@ -176,6 +192,11 @@ module Client = struct
   let checkpoint t = call t ~meth:"checkpoint" P.unit P.unit ()
   let digest t = call ~idempotent:true t ~meth:"digest" P.unit P.string ()
   let metrics t = call ~idempotent:true t ~meth:"metrics" P.unit P.string ()
+
+  let traces t ~max_n ~min_dur_s =
+    call ~idempotent:true t ~meth:"traces"
+      (P.pair P.int P.float)
+      (P.list codec_span) (max_n, min_dur_s)
 
   let fetch_state t =
     call ~idempotent:true t ~meth:"fetch_state" P.unit

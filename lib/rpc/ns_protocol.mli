@@ -82,6 +82,12 @@ module Client : sig
   (** The server process's {!Sdb_obs.Metrics.render} output
       (Prometheus text exposition). *)
 
+  val traces : t -> max_n:int -> min_dur_s:float -> Sdb_obs.Trace.span list
+  (** The server's most recent (up to [max_n]) slow spans of duration
+      at least [min_dur_s], newest first — the contents of its
+      process-global {!Sdb_obs.Trace.Slow} ring.  Empty when the
+      server runs without a ring. *)
+
   val fetch_state : t -> Sdb_nameserver.Ns_data.tree * int * string
   (** Full-state transfer for replica repair (§4's
       restore-from-replica): the snapshot tree, the LSN it reflects,

@@ -1,5 +1,6 @@
 module P = Sdb_pickle.Pickle
 module Metrics = Sdb_obs.Metrics
+module Trace = Sdb_obs.Trace
 
 exception Rpc_error of string
 
@@ -290,6 +291,16 @@ module Server = struct
       ~help:"RPC requests answered with an error, by procedure."
       ~labels:[ ("meth", meth) ]
 
+  (* One extra series merging every procedure, so a dashboard (or
+     sdb_top) can read overall latency quantiles without trying to
+     merge per-meth quantiles, which is not meaningful. *)
+  let m_latency_all () = m_latency "_all"
+
+  (* Server-wide request ids ("meth-N"): unique per process, attached
+     to every span emitted while the handler runs (see
+     Trace.with_request), so one slow RPC decomposes into its phases. *)
+  let req_seq = Atomic.make 0
+
   let handler ~meth arg_codec ret_codec f =
     let run args =
       match P.decode_result arg_codec args with
@@ -310,6 +321,7 @@ module Server = struct
       handlers;
     let unknown_requests = m_requests "_unknown" in
     let unknown_errors = m_errors "_unknown" in
+    let latency_all = m_latency_all () in
     let rec loop () =
       match transport.Transport.recv () with
       | exception Rpc_error _ -> transport.Transport.close ()
@@ -329,9 +341,37 @@ module Server = struct
             | Some (h, mreq, mlat, merr) ->
               Metrics.incr mreq;
               let timed = Metrics.is_enabled () in
-              let t0 = if timed then Unix.gettimeofday () else 0.0 in
-              let payload = h.h_run req.args in
-              if timed then Metrics.observe mlat (Unix.gettimeofday () -. t0);
+              let traced = Trace.active () in
+              let handle () =
+                let t0 = if timed || traced then Unix.gettimeofday () else 0.0 in
+                let payload = h.h_run req.args in
+                if timed || traced then begin
+                  let dt = Unix.gettimeofday () -. t0 in
+                  if timed then begin
+                    Metrics.observe mlat dt;
+                    Metrics.observe latency_all dt
+                  end;
+                  if traced then
+                    Trace.span "rpc.server"
+                      ~attrs:
+                        (("meth", req.meth)
+                        ::
+                        (match payload with
+                        | Ok _ -> []
+                        | Error e -> [ ("error", e) ]))
+                      ~start_s:t0 ~dur_s:dt
+                end;
+                payload
+              in
+              let payload =
+                if traced then
+                  let rid =
+                    Printf.sprintf "%s-%d" req.meth
+                      (Atomic.fetch_and_add req_seq 1)
+                  in
+                  Trace.with_request rid handle
+                else handle ()
+              in
               (match payload with Error _ -> Metrics.incr merr | Ok _ -> ());
               { resp_id = req.req_id; payload })
         in

@@ -48,13 +48,24 @@ let max t =
   nonempty t "max";
   (sorted t).(t.len - 1)
 
+(* Linear interpolation between closest order statistics: rank
+   p/100·(len−1) is split into an integer part (a sample index) and a
+   fraction interpolated toward the next sample.  When the rank lands
+   exactly on a sample ("bucket edge"), that sample is returned
+   verbatim — percentile 0 is the min, 100 the max, and with N samples
+   every multiple of 100/(N−1) is exact. *)
 let percentile t p =
   nonempty t "percentile";
   if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: out of range";
   let s = sorted t in
-  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.len)) in
-  let idx = if rank <= 0 then 0 else Stdlib.min (rank - 1) (t.len - 1) in
-  s.(idx)
+  if t.len = 1 then s.(0)
+  else begin
+    let h = p /. 100.0 *. float_of_int (t.len - 1) in
+    let lo = int_of_float (Float.floor h) in
+    let hi = int_of_float (Float.ceil h) in
+    if lo = hi then s.(lo)
+    else s.(lo) +. ((h -. float_of_int lo) *. (s.(hi) -. s.(lo)))
+  end
 
 let percentile_opt t p = if t.len = 0 then None else Some (percentile t p)
 
@@ -67,6 +78,7 @@ type snapshot = {
   s_p50 : float;
   s_p90 : float;
   s_p99 : float;
+  s_p999 : float;
 }
 
 let empty_snapshot =
@@ -79,6 +91,7 @@ let empty_snapshot =
     s_p50 = 0.0;
     s_p90 = 0.0;
     s_p99 = 0.0;
+    s_p999 = 0.0;
   }
 
 let snapshot t =
@@ -93,18 +106,24 @@ let snapshot t =
       s_p50 = percentile t 50.0;
       s_p90 = percentile t 90.0;
       s_p99 = percentile t 99.0;
+      s_p999 = percentile t 99.9;
     }
 
 let clear t =
   t.len <- 0;
   t.sorted <- None
 
+(* Capture the source's array and length up front so merging a
+   histogram into itself (or a concurrent [record] into [dst]) cannot
+   read through a reallocation mid-loop. *)
+let merge_into dst src =
+  let src_samples = src.samples and n = src.len in
+  for i = 0 to n - 1 do
+    record dst src_samples.(i)
+  done
+
 let merge a b =
   let t = create () in
-  for i = 0 to a.len - 1 do
-    record t a.samples.(i)
-  done;
-  for i = 0 to b.len - 1 do
-    record t b.samples.(i)
-  done;
+  merge_into t a;
+  merge_into t b;
   t

@@ -13,7 +13,10 @@ val mean : t -> float
 val min : t -> float
 val max : t -> float
 val percentile : t -> float -> float
-(** [percentile t 99.0] is the nearest-rank p99.  Raises
+(** [percentile t 99.0] is the p99 by linear interpolation between the
+    closest order statistics.  Exact at sample boundaries: percentile 0
+    is the minimum, 100 the maximum, and with N samples every multiple
+    of 100/(N−1) returns a recorded sample verbatim.  Raises
     [Invalid_argument] if empty or [p] outside [\[0,100\]]. *)
 
 val percentile_opt : t -> float -> float option
@@ -29,6 +32,7 @@ type snapshot = {
   s_p50 : float;
   s_p90 : float;
   s_p99 : float;
+  s_p999 : float;
 }
 (** One consistent read of the usual summary statistics.  All fields of
     an empty histogram's snapshot are zero ([s_count = 0]), so metric
@@ -36,9 +40,17 @@ type snapshot = {
 
 val snapshot : t -> snapshot
 
+val empty_snapshot : snapshot
+(** What {!snapshot} returns for an empty histogram (all zeros). *)
+
 val clear : t -> unit
 (** Forget all samples (capacity is retained). *)
 
 val total : t -> float
 val merge : t -> t -> t
 (** A fresh histogram holding both sample sets. *)
+
+val merge_into : t -> t -> unit
+(** [merge_into dst src] appends every sample of [src] to [dst]
+    ([src] is unchanged).  Used to combine per-thread histograms after
+    a multi-threaded run; [merge_into t t] doubles the sample set. *)

@@ -650,8 +650,8 @@ let test_update_span_sequence () =
       KVDb.update db (KV.Set ("k", "v"));
       check
         (Alcotest.list Alcotest.string)
-        "one update, three phase spans"
-        [ "update.verify"; "update.log"; "update.apply" ]
+        "one update, four phase spans"
+        [ "update.verify"; "update.log"; "update.apply"; "update.notify" ]
         (span_names ring);
       (* Every span carries the application name. *)
       List.iter

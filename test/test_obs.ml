@@ -174,6 +174,114 @@ let test_ring_truncation () =
   Trace.Ring.clear ring;
   check Alcotest.int "cleared" 0 (List.length (Trace.Ring.contents ring))
 
+let test_tee () =
+  let a = Trace.Ring.create ~capacity:4 in
+  let b = Trace.Ring.create ~capacity:4 in
+  with_sink (Trace.tee [ Trace.Ring.sink a; Trace.Ring.sink b ]) (fun () ->
+      Trace.span "both" ~start_s:1.0 ~dur_s:0.5);
+  check (Alcotest.list Alcotest.string) "first sink" [ "both" ]
+    (span_names (Trace.Ring.contents a));
+  check (Alcotest.list Alcotest.string) "second sink" [ "both" ]
+    (span_names (Trace.Ring.contents b))
+
+let test_ring_recent () =
+  let ring = Trace.Ring.create ~capacity:8 in
+  with_sink (Trace.Ring.sink ring) (fun () ->
+      Trace.span "fast1" ~start_s:1.0 ~dur_s:0.001;
+      Trace.span "slow1" ~start_s:2.0 ~dur_s:0.5;
+      Trace.span "fast2" ~start_s:3.0 ~dur_s:0.002;
+      Trace.span "slow2" ~start_s:4.0 ~dur_s:0.9);
+  check (Alcotest.list Alcotest.string) "newest first, filtered"
+    [ "slow2"; "slow1" ]
+    (span_names (Trace.Ring.recent ~min_dur_s:0.1 ~max_n:10 ring));
+  check (Alcotest.list Alcotest.string) "max_n truncates at the new end"
+    [ "slow2"; "fast2" ]
+    (span_names (Trace.Ring.recent ~max_n:2 ring))
+
+let test_slow_ring () =
+  Trace.set_sink (Some (Trace.Slow.install ~capacity:8 ~threshold_s:0.01));
+  Fun.protect
+    ~finally:(fun () -> Trace.set_sink None)
+    (fun () ->
+      check (Alcotest.option (Alcotest.float 1e-12)) "threshold readable"
+        (Some 0.01) (Trace.Slow.threshold_s ());
+      Trace.span "fast" ~start_s:1.0 ~dur_s:0.001;
+      Trace.span "slow" ~start_s:2.0 ~dur_s:0.05;
+      check (Alcotest.list Alcotest.string) "only spans over threshold"
+        [ "slow" ]
+        (span_names (Trace.Slow.recent ~max_n:10 ()));
+      check (Alcotest.list Alcotest.string) "query-time filter stacks"
+        []
+        (span_names (Trace.Slow.recent ~min_dur_s:0.1 ~max_n:10 ())))
+
+let test_with_request () =
+  let ring = Trace.Ring.create ~capacity:8 in
+  with_sink (Trace.Ring.sink ring) (fun () ->
+      Trace.span "before" ~start_s:0.0 ~dur_s:0.0;
+      Trace.with_request "req-7" (fun () ->
+          check (Alcotest.option Alcotest.string) "context visible"
+            (Some "req-7") (Trace.current_request ());
+          Trace.span "inside" ~start_s:1.0 ~dur_s:0.0;
+          Trace.with_request "req-8" (fun () ->
+              Trace.span "nested" ~start_s:2.0 ~dur_s:0.0);
+          (* The outer id is restored after the nested scope. *)
+          Trace.span "restored" ~start_s:3.0 ~dur_s:0.0;
+          (* An explicit req attr wins over the ambient context. *)
+          Trace.span "explicit" ~attrs:[ ("req", "mine") ] ~start_s:4.0
+            ~dur_s:0.0);
+      Trace.span "after" ~start_s:5.0 ~dur_s:0.0);
+  check (Alcotest.option Alcotest.string) "no ambient context" None
+    (Trace.current_request ());
+  let req name =
+    let s = List.find (fun s -> s.Trace.name = name) (Trace.Ring.contents ring) in
+    List.assoc_opt "req" s.Trace.attrs
+  in
+  check (Alcotest.option Alcotest.string) "before scope" None (req "before");
+  check (Alcotest.option Alcotest.string) "inside scope" (Some "req-7")
+    (req "inside");
+  check (Alcotest.option Alcotest.string) "nested scope" (Some "req-8")
+    (req "nested");
+  check (Alcotest.option Alcotest.string) "outer restored" (Some "req-7")
+    (req "restored");
+  check (Alcotest.option Alcotest.string) "explicit attr wins" (Some "mine")
+    (req "explicit");
+  check (Alcotest.option Alcotest.string) "after scope" None (req "after")
+
+(* ------------------------------------------------------------------ *)
+(* Summaries                                                           *)
+
+let test_summaries_and_merge () =
+  let h_get =
+    Metrics.histogram "test_obs_sum_seconds" ~labels:[ ("meth", "get") ]
+  in
+  let h_put =
+    Metrics.histogram "test_obs_sum_seconds" ~labels:[ ("meth", "put") ]
+  in
+  List.iter (Metrics.observe h_get) [ 0.001; 0.002; 0.003 ];
+  List.iter (Metrics.observe h_put) [ 0.1; 0.2 ];
+  let ours =
+    List.filter (fun (name, _, _) -> name = "test_obs_sum_seconds")
+      (Metrics.summaries ())
+  in
+  check Alcotest.int "one entry per series" 2 (List.length ours);
+  let counts =
+    List.map (fun (_, _, s) -> s.Sdb_util.Histogram.s_count) ours
+  in
+  check (Alcotest.list Alcotest.int) "sorted by labels" [ 3; 2 ] counts;
+  let m = Metrics.merged_summary "test_obs_sum_seconds" in
+  check Alcotest.int "merged count" 5 m.Sdb_util.Histogram.s_count;
+  check (Alcotest.float 1e-9) "merged max" 0.2 m.Sdb_util.Histogram.s_max;
+  check (Alcotest.float 1e-9) "merged min" 0.001 m.Sdb_util.Histogram.s_min;
+  check Alcotest.int "absent family is empty" 0
+    (Metrics.merged_summary "test_obs_no_such_family").Sdb_util.Histogram.s_count
+
+let test_render_p999 () =
+  let h = Metrics.histogram "test_obs_p999_seconds" in
+  Metrics.observe h 0.25;
+  check Alcotest.bool "0.999 quantile rendered" true
+    (contains ~needle:"test_obs_p999_seconds{quantile=\"0.999\"}"
+       (Metrics.render ()))
+
 let test_jsonl_sink () =
   let path = Filename.temp_file "sdb-obs" ".jsonl" in
   Fun.protect
@@ -202,12 +310,18 @@ let () =
           Alcotest.test_case "enable/disable" `Quick test_enable_disable;
           Alcotest.test_case "render" `Quick test_render;
           Alcotest.test_case "reset keeps handles" `Quick test_reset_keeps_handles;
+          Alcotest.test_case "summaries and merge" `Quick test_summaries_and_merge;
+          Alcotest.test_case "render p999" `Quick test_render_p999;
         ] );
       ( "trace",
         [
           Alcotest.test_case "sink ordering" `Quick test_sink_ordering;
           Alcotest.test_case "with_span on exception" `Quick test_with_span_exception;
           Alcotest.test_case "ring truncation" `Quick test_ring_truncation;
+          Alcotest.test_case "tee" `Quick test_tee;
+          Alcotest.test_case "ring recent" `Quick test_ring_recent;
+          Alcotest.test_case "slow ring" `Quick test_slow_ring;
+          Alcotest.test_case "request context" `Quick test_with_request;
           Alcotest.test_case "jsonl escaping" `Quick test_jsonl_sink;
         ] );
     ]

@@ -318,6 +318,41 @@ let test_ns_protocol_local_remote_agree () =
       check Alcotest.(option string) "remote sees local write" (Some "w")
         (Proto.Client.lookup client (p "/c")))
 
+let test_traces_verb () =
+  (* With a slow-span ring installed at threshold 0 every served
+     request leaves an rpc.server span, retrievable over the traces
+     verb with its req correlation id. *)
+  let module Trace = Sdb_obs.Trace in
+  Trace.set_sink (Some (Trace.Slow.install ~capacity:64 ~threshold_s:0.0));
+  Fun.protect
+    ~finally:(fun () -> Trace.set_sink None)
+    (fun () ->
+      with_ns_client (fun _ns client ->
+          Proto.Client.set_value client (p "/traced") (Some "v");
+          ignore (Proto.Client.lookup client (p "/traced"));
+          let spans = Proto.Client.traces client ~max_n:50 ~min_dur_s:0.0 in
+          let servers =
+            List.filter (fun s -> s.Trace.name = "rpc.server") spans
+          in
+          (* set_value, lookup, and the traces call itself is in flight
+             while serving, so only the first two are guaranteed. *)
+          check Alcotest.bool "spans for served calls" true
+            (List.length servers >= 2);
+          let meths =
+            List.filter_map (fun s -> List.assoc_opt "meth" s.Trace.attrs) servers
+          in
+          check Alcotest.bool "lookup span present" true
+            (List.mem "lookup" meths);
+          List.iter
+            (fun s ->
+              check Alcotest.bool "req id attached" true
+                (List.mem_assoc "req" s.Trace.attrs))
+            servers;
+          (* The threshold filter applies at query time too. *)
+          check Alcotest.int "min_dur_s filters everything" 0
+            (List.length
+               (Proto.Client.traces client ~max_n:50 ~min_dur_s:3600.0))))
+
 let test_inproc_delay () =
   let client_t, server_t = Rpc.Inproc.pair ~delay_s:0.01 () in
   let server = Thread.create (fun () -> Rpc.Server.serve ~handlers:echo_handlers server_t) () in
@@ -363,5 +398,6 @@ let () =
           Alcotest.test_case "full surface" `Quick test_ns_protocol_roundtrip;
           Alcotest.test_case "local and remote agree" `Quick
             test_ns_protocol_local_remote_agree;
+          Alcotest.test_case "traces verb" `Quick test_traces_verb;
         ] );
     ]

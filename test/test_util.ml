@@ -257,12 +257,46 @@ let test_histogram_growth_and_merge () =
     Histogram.record h (float_of_int i)
   done;
   check Alcotest.int "count" 1000 (Histogram.count h);
-  check (Alcotest.float 1e-6) "p99" 990.0 (Histogram.percentile h 99.0);
+  (* Interpolated rank: 0.99·999 = 989.01, i.e. 1% of the way from the
+     990th to the 991st sample. *)
+  check (Alcotest.float 1e-6) "p99" 990.01 (Histogram.percentile h 99.0);
   let h2 = Histogram.create () in
   Histogram.record h2 5000.0;
   let merged = Histogram.merge h h2 in
   check Alcotest.int "merged count" 1001 (Histogram.count merged);
-  check (Alcotest.float 1e-6) "merged max" 5000.0 (Histogram.max merged)
+  check (Alcotest.float 1e-6) "merged max" 5000.0 (Histogram.max merged);
+  check Alcotest.int "merge sources unchanged" 1000 (Histogram.count h);
+  Histogram.merge_into h h2;
+  check Alcotest.int "merge_into appends" 1001 (Histogram.count h);
+  check (Alcotest.float 1e-6) "merge_into carries samples" 5000.0
+    (Histogram.max h);
+  Histogram.merge_into h2 h2;
+  check Alcotest.int "self merge doubles" 2 (Histogram.count h2)
+
+(* The satellite contract: interpolation is exact at sample boundaries
+   (p0 = min, p100 = max, every multiple of 100/(N−1) is a recorded
+   sample), and linear in between. *)
+let test_histogram_interpolation () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 50.0; 10.0; 40.0; 20.0; 30.0 ];
+  List.iteri
+    (fun i want ->
+      check
+        (Alcotest.float 1e-9)
+        (Printf.sprintf "edge p%d" (i * 25))
+        want
+        (Histogram.percentile h (float_of_int (i * 25))))
+    [ 10.0; 20.0; 30.0; 40.0; 50.0 ];
+  check (Alcotest.float 1e-9) "linear between edges" 22.0
+    (Histogram.percentile h 30.0);
+  let two = Histogram.create () in
+  List.iter (Histogram.record two) [ 1.0; 2.0 ];
+  check (Alcotest.float 1e-9) "median of two interpolates" 1.5
+    (Histogram.percentile two 50.0);
+  let one = Histogram.create () in
+  Histogram.record one 7.0;
+  check (Alcotest.float 1e-9) "single sample at any p" 7.0
+    (Histogram.percentile one 99.9)
 
 let test_histogram_empty_errors () =
   let h = Histogram.create () in
@@ -298,6 +332,8 @@ let test_histogram_snapshot () =
   check (Alcotest.float 1e-9) "p50" (Histogram.percentile h 50.0) s.Histogram.s_p50;
   check (Alcotest.float 1e-9) "p90" (Histogram.percentile h 90.0) s.Histogram.s_p90;
   check (Alcotest.float 1e-9) "p99" (Histogram.percentile h 99.0) s.Histogram.s_p99;
+  check (Alcotest.float 1e-9) "p999" (Histogram.percentile h 99.9)
+    s.Histogram.s_p999;
   Histogram.clear h;
   check Alcotest.int "cleared" 0 (Histogram.count h);
   Histogram.record h 7.0;
@@ -343,6 +379,7 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_histogram_basics;
           Alcotest.test_case "growth and merge" `Quick test_histogram_growth_and_merge;
+          Alcotest.test_case "interpolation" `Quick test_histogram_interpolation;
           Alcotest.test_case "empty errors" `Quick test_histogram_empty_errors;
           Alcotest.test_case "percentile_opt" `Quick test_histogram_percentile_opt;
           Alcotest.test_case "snapshot and clear" `Quick test_histogram_snapshot;
