@@ -74,6 +74,14 @@ let succs : (string, string list ref) Hashtbl.t = Hashtbl.create 64
 
 let violation_log : violation list ref = ref []
 
+(* Re-entry probes, keyed by lock instance id: a counting read lock
+   (the Vlock) registers a closure answering "does the calling thread
+   hold this lock Shared according to my own ownership registry?".
+   Nested Shared is then verified against the lock's ground truth
+   instead of being excused on the sanitizer's say-so.  Probes survive
+   [reset]: they describe live lock instances, not per-run state. *)
+let reentry_probes : (int, unit -> bool) Hashtbl.t = Hashtbl.create 16
+
 (* counters; plain ints under st_mutex except checks, which is hot *)
 let n_checks = Atomic.make 0
 let n_violations = ref 0
@@ -121,6 +129,9 @@ let violate ~rule ~message ~stacks =
   raise (Violation v)
 
 let tid () = Thread.id (Thread.self ())
+
+let set_reentry_probe l probe =
+  locked (fun () -> Hashtbl.replace reentry_probes l.l_id probe)
 
 let stack_of_thread id =
   match Hashtbl.find_opt threads id with
@@ -209,13 +220,17 @@ let note_acquire l mode =
         let held = !stack in
         (* Same-instance re-acquisition is self-deadlock (mutex, or a
            vlock writer mode: update excludes update) — except the
-           recursive read: a vlock counts its shared holders, so nested
-           Shared on the {e same} instance is part of its contract (the
-           residual hazard, re-entry under a pending upgrade, is
-           documented in DESIGN.md §5 as out of scope, as in lockdep's
-           read-recursive classes).  Same-class nesting across
-           instances is a deadlock hazard once a second thread nests in
-           the other order, and no code path in this repo needs it. *)
+           recursive read: a vlock counts its shared holders and keeps
+           a per-thread ownership registry, so nested Shared on the
+           {e same} instance is part of its contract, including under a
+           pending upgrade (a registered reader passes the gate; the
+           old deadlock is gone and lib/schedcheck enumerates the
+           interleavings to prove it).  Where the lock registered a
+           re-entry probe, the claim is verified against its registry
+           rather than taken from our own stack.  Same-class nesting
+           across instances is a deadlock hazard once a second thread
+           nests in the other order, and no code path in this repo
+           needs it. *)
         let recursive_read h =
           h.h_lock.l_id = l.l_id && l.l_kind = `Vlock && mode = Shared
           && h.h_mode = Shared
@@ -223,7 +238,18 @@ let note_acquire l mode =
         (match
            List.find_opt (fun h -> String.equal h.h_lock.l_class l.l_class) held
          with
-        | Some h when recursive_read h -> ()
+        | Some h when recursive_read h -> (
+          match Hashtbl.find_opt reentry_probes l.l_id with
+          | Some probe when not (probe ()) ->
+            violate ~rule:"nesting"
+              ~message:
+                (Printf.sprintf
+                   "nested shared acquisition of %s, but the lock's reader \
+                    registry has no shared hold for this thread (released \
+                    from another thread?)"
+                   l.l_class)
+              ~stacks:[ ("acquisition site", capture_stack ()) ]
+          | _ -> ())
         | Some h ->
           let bt = capture_stack () in
           violate ~rule:"nesting"

@@ -81,7 +81,18 @@ val note_acquire : lock -> mode -> unit
     before} blocking on the real primitive: the cycle check then fires
     before the deadlock it predicts can bite.  Raises {!Violation} on a
     lock-order cycle or on nested acquisition within one class (which
-    includes re-acquiring the same instance). *)
+    includes re-acquiring the same instance).  The one legal nesting is
+    the recursive read — [Shared] on a [`Vlock] instance the thread
+    already holds [Shared]; when the lock registered a
+    {!set_reentry_probe}, that claim is verified against the lock's own
+    reader registry and a mismatch is a ["nesting"] violation. *)
+
+val set_reentry_probe : lock -> (unit -> bool) -> unit
+(** Register the lock's own answer to "does the calling thread hold me
+    Shared?".  The Vlock installs its reader-ownership registry here at
+    creation, turning the nested-read allowance from an exemption into
+    a cross-checked fact.  Probes are per-instance and survive
+    {!reset}. *)
 
 val note_release : lock -> mode -> unit
 

@@ -115,7 +115,11 @@ let observe h v =
 let time h f =
   if Atomic.get enabled then begin
     let t0 = Unix.gettimeofday () in
-    Fun.protect ~finally:(fun () -> observe h (Unix.gettimeofday () -. t0)) f
+    (* Clamped: the wall clock can step backward (NTP) mid-measurement,
+       and a negative duration would corrupt the histogram. *)
+    Fun.protect
+      ~finally:(fun () -> observe h (Float.max 0.0 (Unix.gettimeofday () -. t0)))
+      f
   end
   else f ()
 

@@ -46,6 +46,11 @@ let emit span =
   match Atomic.get current with
   | None -> ()
   | Some sink ->
+    (* The wall clock can step backward (NTP) between a span's start and
+       end stamps; a negative duration is noise for every sink and would
+       dodge slow-span thresholds, so clamp here — the one choke point
+       all spans pass through. *)
+    let span = if span.dur_s < 0.0 then { span with dur_s = 0.0 } else span in
     let span =
       if List.mem_assoc "req" span.attrs then span
       else

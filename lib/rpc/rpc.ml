@@ -346,7 +346,9 @@ module Server = struct
                 let t0 = if timed || traced then Unix.gettimeofday () else 0.0 in
                 let payload = h.h_run req.args in
                 if timed || traced then begin
-                  let dt = Unix.gettimeofday () -. t0 in
+                  (* Clamped: a backward wall-clock step (NTP) must not
+                     observe a negative latency. *)
+                  let dt = Float.max 0.0 (Unix.gettimeofday () -. t0) in
                   if timed then begin
                     Metrics.observe mlat dt;
                     Metrics.observe latency_all dt

@@ -1,0 +1,291 @@
+(* The engine's critical sections under the virtual scheduler.  The
+   lock scenarios instantiate Sdb_vlock.Vlock_core.Make over Schedcheck's
+   primitives, so the protocol being exhausted is the one the engine
+   ships; the group-commit and outbox scenarios model the coordinator
+   and sender hand-off from lib/core and lib/replica at the same
+   granularity their mutexes give them. *)
+
+open Sdb_vlock.Vlock_core
+
+module Vsync = struct
+  type mutex = Schedcheck.Mutex.t
+  type cond = Schedcheck.Cond.t
+
+  let counter = ref 0
+
+  let make_mutex () =
+    incr counter;
+    Schedcheck.Mutex.create (Printf.sprintf "vlock.mutex/%d" !counter)
+
+  let make_cond () =
+    incr counter;
+    Schedcheck.Cond.create (Printf.sprintf "vlock.changed/%d" !counter)
+
+  let lock = Schedcheck.Mutex.lock
+  let unlock = Schedcheck.Mutex.unlock
+  let wait = Schedcheck.Cond.wait
+  let broadcast = Schedcheck.Cond.broadcast
+  let self = Schedcheck.self
+end
+
+module V = Sdb_vlock.Vlock_core.Make (Vsync)
+
+let check cond msg = if not cond then failwith msg
+
+(* Holds after every step of every schedule. *)
+let lock_invariant v () =
+  let i = V.inspect v in
+  check
+    (not (i.i_exclusive && i.i_readers > 0))
+    "vlock: exclusive held while readers active";
+  check
+    (not (i.i_exclusive && i.i_update))
+    "vlock: exclusive and update held simultaneously";
+  check (i.i_hold_sum = i.i_readers)
+    "vlock: reader registry out of sync with n_readers";
+  check (i.i_readers >= 0) "vlock: negative reader count"
+
+(* Holds once every modeled thread has completed. *)
+let drained v () =
+  let i = V.inspect v in
+  check
+    (i.i_readers = 0 && (not i.i_update) && (not i.i_exclusive)
+    && (not i.i_upgrade_pending)
+    && i.i_hold_sum = 0)
+    "vlock: not fully released at end"
+
+(* ------------------------------------------------------------------ *)
+
+let recursive_read ~legacy () =
+  let v = V.create ~legacy_recursive_block:legacy () in
+  let reader () =
+    V.acquire v Shared;
+    Schedcheck.yield "reading";
+    (* The enquiry path re-entering Shared — under the legacy gate this
+       parks behind the upgrader's pending upgrade while the upgrader
+       drains this very thread: the deadlock of ISSUE 7. *)
+    V.acquire v Shared;
+    V.release v Shared;
+    V.release v Shared
+  in
+  let upgrader () =
+    V.acquire v Update;
+    V.upgrade v;
+    V.release v Exclusive
+  in
+  Schedcheck.scenario
+    ~invariant:(lock_invariant v)
+    ~finale:(drained v)
+    [ ("reader", reader); ("upgrader", upgrader) ]
+
+let fresh_reader_gate () =
+  let v = V.create () in
+  let admitted_mid_drain = ref false in
+  let nested () =
+    V.acquire v Shared;
+    Schedcheck.yield "between holds";
+    V.acquire v Shared;
+    V.release v Shared;
+    V.release v Shared
+  in
+  let fresh () =
+    V.acquire v Shared;
+    (* Runs atomically with the admission: a first-time reader admitted
+       while the upgrade is still draining would observe the flag. *)
+    if (V.inspect v).i_upgrade_pending then admitted_mid_drain := true;
+    V.release v Shared
+  in
+  let upgrader () =
+    V.acquire v Update;
+    V.upgrade v;
+    V.release v Exclusive
+  in
+  Schedcheck.scenario
+    ~invariant:(lock_invariant v)
+    ~finale:(fun () ->
+      drained v ();
+      check
+        (not !admitted_mid_drain)
+        "vlock: first-time reader admitted during an upgrade drain")
+    [ ("nested", nested); ("fresh", fresh); ("upgrader", upgrader) ]
+
+let upgrade_vs_readers ~readers () =
+  let v = V.create () in
+  let data = ref 0 in
+  let reader name () =
+    V.acquire v Shared;
+    let a = !data in
+    Schedcheck.yield "between reads";
+    let b = !data in
+    V.release v Shared;
+    check (a = b) (name ^ ": torn read (value changed under Shared)");
+    check (a mod 2 = 0) (name ^ ": observed odd intermediate state")
+  in
+  let writer () =
+    V.acquire v Update;
+    (* Reads may proceed here — that is the point of Update. *)
+    Schedcheck.yield "deliberating";
+    V.upgrade v;
+    incr data;
+    Schedcheck.yield "mid-mutation";
+    incr data;
+    V.release v Exclusive
+  in
+  Schedcheck.scenario
+    ~invariant:(lock_invariant v)
+    ~finale:(fun () ->
+      drained v ();
+      check (!data = 2) "writer: both increments applied")
+    (List.init readers (fun i ->
+         let name = Printf.sprintf "reader%d" i in
+         (name, reader name))
+    @ [ ("writer", writer) ])
+
+let upgrade_vs_readers_broken () =
+  let v = V.create () in
+  let data = ref 0 in
+  let reader () =
+    V.acquire v Shared;
+    let a = !data in
+    Schedcheck.yield "between reads";
+    let b = !data in
+    V.release v Shared;
+    check (a = b) "reader: torn read (mutation under Update, no upgrade)";
+    check (a mod 2 = 0) "reader: observed odd intermediate state"
+  in
+  let writer () =
+    (* The bug this scenario must catch: mutating without the upgrade. *)
+    V.acquire v Update;
+    incr data;
+    Schedcheck.yield "mid-mutation";
+    incr data;
+    V.release v Update
+  in
+  Schedcheck.scenario
+    ~invariant:(lock_invariant v)
+    [ ("reader", reader); ("writer", writer) ]
+
+(* ------------------------------------------------------------------ *)
+
+let group_commit ~updaters () =
+  let v = V.create () in
+  let gc_m = Schedcheck.Mutex.create "gc.mutex" in
+  let gc_c = Schedcheck.Cond.create "gc.cond" in
+  let forming = ref [] in
+  let committing = ref false in
+  let next_lsn = ref 0 in
+  let flushes = ref 0 in
+  let groups = ref 0 in
+  let lsn = Array.make updaters 0 in
+  let woken = Array.make updaters false in
+  let updater i () =
+    Schedcheck.Mutex.lock gc_m;
+    forming := !forming @ [ i ];
+    if List.length !forming = 1 then begin
+      (* Leader: claim the ordered commit slot, seal the group. *)
+      while !committing do
+        Schedcheck.Cond.wait gc_c gc_m
+      done;
+      committing := true;
+      let group = !forming in
+      forming := [];
+      incr groups;
+      Schedcheck.Mutex.unlock gc_m;
+      (* Log write + fsync happen under Update, outside the gc mutex. *)
+      V.acquire v Update;
+      check !committing "group-commit: flush outside the commit slot";
+      Schedcheck.yield "fsync";
+      incr flushes;
+      V.upgrade v;
+      List.iter
+        (fun m ->
+          incr next_lsn;
+          lsn.(m) <- !next_lsn)
+        group;
+      V.release v Exclusive;
+      Schedcheck.Mutex.lock gc_m;
+      committing := false;
+      List.iter (fun m -> woken.(m) <- true) group;
+      Schedcheck.Mutex.unlock gc_m;
+      Schedcheck.Cond.broadcast gc_c
+    end
+    else begin
+      (* Member: park until the leader publishes my outcome. *)
+      while not woken.(i) do
+        Schedcheck.Cond.wait gc_c gc_m
+      done;
+      Schedcheck.Mutex.unlock gc_m;
+      check (lsn.(i) > 0) "group-commit: woken without an assigned LSN"
+    end
+  in
+  Schedcheck.scenario
+    ~invariant:(lock_invariant v)
+    ~finale:(fun () ->
+      drained v ();
+      check (not !committing) "group-commit: commit slot still held at end";
+      check (!forming = []) "group-commit: members left in a forming group";
+      check (!flushes = !groups) "group-commit: one flush per group violated";
+      check (!next_lsn = updaters) "group-commit: LSNs not dense";
+      Array.iteri
+        (fun i l ->
+          check (l > 0) (Printf.sprintf "group-commit: updater %d has no LSN" i);
+          check woken.(i)
+            (Printf.sprintf "group-commit: updater %d never woken" i))
+        lsn;
+      let sorted = List.sort compare (Array.to_list lsn) in
+      check
+        (sorted = List.init updaters (fun i -> i + 1))
+        "group-commit: duplicate or out-of-range LSN")
+    (List.init updaters (fun i -> (Printf.sprintf "updater%d" i, updater i)))
+
+(* ------------------------------------------------------------------ *)
+
+let replica_outbox ~pushes ~capacity () =
+  let m = Schedcheck.Mutex.create "outbox.mutex" in
+  let c = Schedcheck.Cond.create "outbox.cond" in
+  let q = Queue.create () in
+  let stop = ref false in
+  let dropped = ref 0 in
+  let delivered = ref [] in
+  let committer () =
+    for i = 1 to pushes do
+      Schedcheck.Mutex.atomically m "push" (fun () ->
+          if Queue.length q >= capacity then incr dropped else Queue.push i q);
+      Schedcheck.Cond.broadcast c
+    done;
+    Schedcheck.Mutex.atomically m "stop" (fun () -> stop := true);
+    Schedcheck.Cond.broadcast c
+  in
+  let sender () =
+    let running = ref true in
+    while !running do
+      Schedcheck.Mutex.lock m;
+      while Queue.is_empty q && not !stop do
+        Schedcheck.Cond.wait c m
+      done;
+      if Queue.is_empty q then begin
+        (* stop observed with the queue drained *)
+        running := false;
+        Schedcheck.Mutex.unlock m
+      end
+      else begin
+        let x = Queue.pop q in
+        Schedcheck.Mutex.unlock m;
+        (* The send itself runs outside the mutex. *)
+        Schedcheck.yield "send";
+        delivered := x :: !delivered
+      end
+    done
+  in
+  Schedcheck.scenario
+    ~finale:(fun () ->
+      let d = List.rev !delivered in
+      let rec mono = function
+        | a :: (b :: _ as t) -> a < b && mono t
+        | _ -> true
+      in
+      check (mono d) "outbox: out-of-order delivery";
+      check
+        (List.length d + !dropped = pushes)
+        "outbox: delivered + dropped <> pushed")
+    [ ("committer", committer); ("sender", sender) ]

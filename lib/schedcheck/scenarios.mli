@@ -1,0 +1,54 @@
+(** The engine's small critical sections, modeled for {!Schedcheck}.
+
+    Each function builds a fresh scenario per call (explorations re-run
+    it once per schedule).  The lock scenarios run the {e real}
+    protocol — [Sdb_vlock.Vlock_core.Make] instantiated over the harness's
+    virtual primitives — so what is exhausted here is the code the
+    engine ships.  The group-commit and replica-outbox scenarios are
+    small faithful models of the coordinator and sender-thread
+    hand-off in [lib/core] and [lib/replica]. *)
+
+module Vsync : Sdb_vlock.Vlock_core.SYNC
+(** {!Sdb_vlock.Vlock_core.SYNC} over the harness's virtual mutex/cond/self. *)
+
+module V : Sdb_vlock.Vlock_core.S
+(** The engine's lock protocol under the virtual scheduler. *)
+
+val recursive_read : legacy:bool -> unit -> Schedcheck.scenario
+(** One reader taking a nested Shared hold, racing one
+    update-then-upgrade writer.  With [legacy:true] (the pre-fix gate:
+    every Shared acquisition parks behind a pending upgrade) the
+    explorer finds the recursive-read deadlock; with [legacy:false] the
+    bounded space passes exhaustively. *)
+
+val fresh_reader_gate : unit -> Schedcheck.scenario
+(** A registered reader re-entering {e and} a first-time reader, racing
+    an upgrader: re-entry must pass the pending-upgrade gate, a
+    first-time acquisition must not be admitted while the upgrade
+    drains. *)
+
+val upgrade_vs_readers : readers:int -> unit -> Schedcheck.scenario
+(** Readers observing a two-step mutation that the writer performs
+    under Exclusive (after the §3 update-then-upgrade dance): no torn
+    observation in any interleaving, no deadlock, registry in sync. *)
+
+val upgrade_vs_readers_broken : unit -> Schedcheck.scenario
+(** Detector of the detector: the writer mutates under Update without
+    upgrading.  The explorer must find a schedule where a reader
+    observes the torn intermediate state. *)
+
+val group_commit : updaters:int -> unit -> Schedcheck.scenario
+(** The group-commit coordinator (DESIGN.md §4d): join a forming group
+    under the gc mutex, leader claims the ordered commit slot, seals
+    under Update, flushes once, upgrades to apply with dense LSNs,
+    wakes parked members.  Checks: one flush per group, commit-slot
+    exclusivity, dense LSN assignment, every member woken with an
+    outcome, lock invariants throughout. *)
+
+val replica_outbox : pushes:int -> capacity:int -> unit -> Schedcheck.scenario
+(** The bounded per-peer outbox hand-off ([lib/replica]): a committer
+    enqueues (dropping on overflow) and wakes the sender; the sender
+    drains, sending outside the mutex, and must observe the stop flag.
+    Checks: FIFO delivery, delivered + dropped = pushed, clean
+    shutdown in every interleaving (a missed wakeup shows up as a
+    deadlock). *)

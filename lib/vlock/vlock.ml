@@ -1,32 +1,36 @@
 module Metrics = Sdb_obs.Metrics
 
-type mode = Shared | Update | Exclusive
+(* The protocol itself lives in Vlock_core (functored over its sync
+   primitives so lib/schedcheck can model check the same algorithm);
+   this module is the engine-facing instantiation on real threads, plus
+   the two concerns the core deliberately omits: sanitizer reporting
+   and wait/hold metrics. *)
+module Core = Vlock_core.Make (Vlock_core.Thread_sync)
 
-type stats = {
+type mode = Vlock_core.mode = Shared | Update | Exclusive
+
+type stats = Vlock_core.stats = {
   shared_acquisitions : int;
   update_acquisitions : int;
   exclusive_acquisitions : int;
   upgrades : int;
 }
 
+type waiting = Vlock_core.waiting = {
+  waiting_shared : int;
+  waiting_update : int;
+  waiting_exclusive : int;
+}
+
 type t = {
   san : Sdb_check.lock;
-  mutex : Mutex.t;
-  changed : Condition.t;
-  mutable n_readers : int;
-  mutable upd : bool;
-  mutable excl : bool;
-  mutable upgrade_pending : bool;
-  mutable s_shared : int;
-  mutable s_update : int;
-  mutable s_exclusive : int;
-  mutable s_upgrades : int;
-  (* threads currently blocked inside acquire, per requested mode *)
-  mutable w_shared : int;
-  mutable w_update : int;
-  mutable w_exclusive : int;
+  core : Core.t;
   (* acquisition timestamps for hold-time metrics (writer modes only:
-     shared holders are concurrent, a single timestamp has no owner) *)
+     shared holders are concurrent, a single timestamp has no owner).
+     Written by the holder at acquire, read and zeroed at release; the
+     lock's own happens-before edge orders the accesses.  0.0 means "no
+     stamp": a hold that began while the registry was disabled must
+     observe nothing at release, whatever the registry says then. *)
   mutable upd_since : float;
   mutable excl_since : float;
 }
@@ -70,28 +74,17 @@ let san_mode = function
   | Exclusive -> Sdb_check.Exclusive
 
 let create ?(name = "vlock") () =
-  {
-    san = Sdb_check.make_lock ~kind:`Vlock ("vlock:" ^ name);
-    mutex = Mutex.create ();
-    changed = Condition.create ();
-    n_readers = 0;
-    upd = false;
-    excl = false;
-    upgrade_pending = false;
-    s_shared = 0;
-    s_update = 0;
-    s_exclusive = 0;
-    s_upgrades = 0;
-    w_shared = 0;
-    w_update = 0;
-    w_exclusive = 0;
-    upd_since = 0.0;
-    excl_since = 0.0;
-  }
+  let san = Sdb_check.make_lock ~kind:`Vlock ("vlock:" ^ name) in
+  let core = Core.create () in
+  (* Let the sanitizer cross-check a claimed recursive read against the
+     lock's own reader registry: nested Shared is verified ownership,
+     not a blanket exemption. *)
+  Sdb_check.set_reentry_probe san (fun () -> Core.shared_hold_count core > 0);
+  { san; core; upd_since = 0.0; excl_since = 0.0 }
 
-let locked t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+(* Wall clocks step backward; a negative duration would corrupt the
+   percentile interpolation, so clamp every observation at zero. *)
+let dur a b = Float.max 0.0 (b -. a)
 
 let acquire t mode =
   (* Report to the sanitizer before blocking: its lock-order cycle
@@ -101,111 +94,67 @@ let acquire t mode =
      the gettimeofday calls entirely when the registry is off. *)
   let timed = Metrics.is_enabled () in
   let t0 = if timed then Unix.gettimeofday () else 0.0 in
-  locked t (fun () ->
-      match mode with
-      | Shared ->
-        t.w_shared <- t.w_shared + 1;
-        while t.excl || t.upgrade_pending do
-          Condition.wait t.changed t.mutex
-        done;
-        t.w_shared <- t.w_shared - 1;
-        t.n_readers <- t.n_readers + 1;
-        t.s_shared <- t.s_shared + 1
-      | Update ->
-        t.w_update <- t.w_update + 1;
-        while t.upd || t.excl do
-          Condition.wait t.changed t.mutex
-        done;
-        t.w_update <- t.w_update - 1;
-        t.upd <- true;
-        t.s_update <- t.s_update + 1
-      | Exclusive ->
-        (* Serialize against other writers first, then drain readers,
-           exactly as an update that upgrades immediately. *)
-        t.w_exclusive <- t.w_exclusive + 1;
-        while t.upd || t.excl do
-          Condition.wait t.changed t.mutex
-        done;
-        t.upd <- true;
-        t.upgrade_pending <- true;
-        while t.n_readers > 0 do
-          Condition.wait t.changed t.mutex
-        done;
-        t.w_exclusive <- t.w_exclusive - 1;
-        t.upd <- false;
-        t.upgrade_pending <- false;
-        t.excl <- true;
-        t.s_exclusive <- t.s_exclusive + 1);
+  (match Core.acquire t.core mode with
+  | () -> ()
+  | exception e ->
+    (* The core unwound its waiter accounting; retract the optimistic
+       note so the sanitizer does not believe we hold the lock. *)
+    Sdb_check.note_release t.san (san_mode mode);
+    raise e);
   if timed then begin
     let now = Unix.gettimeofday () in
-    (match mode with
+    match mode with
     | Shared ->
       Metrics.incr acq_shared;
-      Metrics.observe wait_shared (now -. t0)
+      Metrics.observe wait_shared (dur t0 now)
     | Update ->
       Metrics.incr acq_update;
-      Metrics.observe wait_update (now -. t0);
+      Metrics.observe wait_update (dur t0 now);
       t.upd_since <- now
     | Exclusive ->
       Metrics.incr acq_exclusive;
-      Metrics.observe wait_exclusive (now -. t0);
-      t.excl_since <- now)
+      Metrics.observe wait_exclusive (dur t0 now);
+      t.excl_since <- now
   end
 
 let release t mode =
   let timed = Metrics.is_enabled () in
   let now = if timed then Unix.gettimeofday () else 0.0 in
-  locked t (fun () ->
-      (match mode with
-      | Shared ->
-        if t.n_readers <= 0 then invalid_arg "Vlock.release: no shared holder";
-        t.n_readers <- t.n_readers - 1
-      | Update ->
-        if not t.upd then invalid_arg "Vlock.release: update not held";
-        t.upd <- false;
-        if timed && t.upd_since > 0.0 then
-          Metrics.observe hold_update (now -. t.upd_since)
-      | Exclusive ->
-        if not t.excl then invalid_arg "Vlock.release: exclusive not held";
-        t.excl <- false;
-        if timed && t.excl_since > 0.0 then
-          Metrics.observe hold_exclusive (now -. t.excl_since));
-      Condition.broadcast t.changed);
+  Core.release t.core mode;
+  (* Zero the stamp even when the registry is off at release: a stale
+     stamp surviving here would be charged to the next hold if the
+     registry is toggled mid-stream. *)
+  (match mode with
+  | Shared -> ()
+  | Update ->
+    if timed && t.upd_since > 0.0 then
+      Metrics.observe hold_update (dur t.upd_since now);
+    t.upd_since <- 0.0
+  | Exclusive ->
+    if timed && t.excl_since > 0.0 then
+      Metrics.observe hold_exclusive (dur t.excl_since now);
+    t.excl_since <- 0.0);
   Sdb_check.note_release t.san (san_mode mode)
 
 let upgrade t =
   let timed = Metrics.is_enabled () in
-  locked t (fun () ->
-      if not t.upd then invalid_arg "Vlock.upgrade: update not held";
-      if t.upgrade_pending then invalid_arg "Vlock.upgrade: upgrade already pending";
-      t.upgrade_pending <- true;
-      while t.n_readers > 0 do
-        Condition.wait t.changed t.mutex
-      done;
-      t.upd <- false;
-      t.upgrade_pending <- false;
-      t.excl <- true;
-      t.s_upgrades <- t.s_upgrades + 1;
-      if timed then begin
-        let now = Unix.gettimeofday () in
-        if t.upd_since > 0.0 then Metrics.observe hold_update (now -. t.upd_since);
-        t.excl_since <- now
-      end);
+  Core.upgrade t.core;
+  let now = if timed then Unix.gettimeofday () else 0.0 in
+  if timed && t.upd_since > 0.0 then
+    Metrics.observe hold_update (dur t.upd_since now);
+  t.upd_since <- 0.0;
+  t.excl_since <- (if timed then now else 0.0);
   Sdb_check.note_upgrade t.san;
   Metrics.incr m_upgrades
 
 let downgrade t =
   let timed = Metrics.is_enabled () in
-  locked t (fun () ->
-      if not t.excl then invalid_arg "Vlock.downgrade: exclusive not held";
-      t.excl <- false;
-      t.upd <- true;
-      if timed then begin
-        let now = Unix.gettimeofday () in
-        if t.excl_since > 0.0 then Metrics.observe hold_exclusive (now -. t.excl_since);
-        t.upd_since <- now
-      end;
-      Condition.broadcast t.changed);
+  Core.downgrade t.core;
+  let now = if timed then Unix.gettimeofday () else 0.0 in
+  if timed && t.excl_since > 0.0 then
+    Metrics.observe hold_exclusive (dur t.excl_since now);
+  t.excl_since <- 0.0;
+  t.upd_since <- (if timed then now else 0.0);
   Sdb_check.note_downgrade t.san
 
 let with_lock t mode f =
@@ -213,36 +162,12 @@ let with_lock t mode f =
   Fun.protect ~finally:(fun () -> release t mode) f
 
 let sanitizer t = t.san
-let readers t = locked t (fun () -> t.n_readers)
-let update_held t = locked t (fun () -> t.upd)
-let exclusive_held t = locked t (fun () -> t.excl)
+let readers t = Core.readers t.core
+let shared_hold_count t = Core.shared_hold_count t.core
+let update_held t = Core.update_held t.core
+let exclusive_held t = Core.exclusive_held t.core
+let upgrade_pending t = Core.upgrade_pending t.core
 
-let waiters t mode =
-  locked t (fun () ->
-      match mode with
-      | Shared -> t.w_shared
-      | Update -> t.w_update
-      | Exclusive -> t.w_exclusive)
-
-type waiting = {
-  waiting_shared : int;
-  waiting_update : int;
-  waiting_exclusive : int;
-}
-
-let waiting t =
-  locked t (fun () ->
-      {
-        waiting_shared = t.w_shared;
-        waiting_update = t.w_update;
-        waiting_exclusive = t.w_exclusive;
-      })
-
-let stats t =
-  locked t (fun () ->
-      {
-        shared_acquisitions = t.s_shared;
-        update_acquisitions = t.s_update;
-        exclusive_acquisitions = t.s_exclusive;
-        upgrades = t.s_upgrades;
-      })
+let waiters t mode = Core.waiters t.core mode
+let waiting t = Core.waiting t.core
+let stats t = Core.stats t.core

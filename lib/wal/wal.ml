@@ -112,6 +112,10 @@ module Writer = struct
 
   let check t = if t.closed then Fs.io_fail ~op:"write" "Wal.Writer: used after close"
 
+  (* Clamped: a backward wall-clock step (NTP) mid-write must not put a
+     negative duration into the latency histograms. *)
+  let elapsed_since t0 = Float.max 0.0 (Unix.gettimeofday () -. t0)
+
   let frame_into buf payload =
     let len = String.length payload in
     if len > max_entry_size then invalid_arg "Wal.Writer: entry too large";
@@ -137,7 +141,7 @@ module Writer = struct
     let timed = Metrics.is_enabled () in
     let t0 = if timed then Unix.gettimeofday () else 0.0 in
     write_rollback t framed;
-    if timed then Metrics.observe m_append_seconds (Unix.gettimeofday () -. t0);
+    if timed then Metrics.observe m_append_seconds (elapsed_since t0);
     Metrics.incr m_appends;
     Metrics.add m_appended_bytes (String.length framed);
     t.length <- t.length + String.length framed;
@@ -174,7 +178,7 @@ module Writer = struct
     let timed = Metrics.is_enabled () in
     let t0 = if timed then Unix.gettimeofday () else 0.0 in
     t.w.Fs.w_sync ();
-    if timed then Metrics.observe m_fsync_seconds (Unix.gettimeofday () -. t0);
+    if timed then Metrics.observe m_fsync_seconds (elapsed_since t0);
     Metrics.incr m_syncs
 
   let append_sync t payload =
@@ -201,7 +205,7 @@ module Writer = struct
       let timed = Metrics.is_enabled () in
       let t0 = if timed then Unix.gettimeofday () else 0.0 in
       write_rollback t raw;
-      if timed then Metrics.observe m_append_seconds (Unix.gettimeofday () -. t0);
+      if timed then Metrics.observe m_append_seconds (elapsed_since t0);
       Metrics.add m_appends count;
       Metrics.add m_appended_bytes (String.length raw);
       t.length <- t.length + String.length raw;

@@ -108,6 +108,66 @@ let test_recursive_read_allowed () =
   check Alcotest.(list (pair string string)) "no self edge" []
     (Sdb_check.lock_order_edges ())
 
+(* The nested-read allowance is a verified claim, not an exemption: a
+   lock whose probe denies ownership turns the "recursive" acquisition
+   into a nesting violation. *)
+let test_reentry_probe_mismatch () =
+  fresh ();
+  let l = Sdb_check.make_lock ~kind:`Vlock "t.probe" in
+  Sdb_check.set_reentry_probe l (fun () -> false);
+  Sdb_check.note_acquire l Sdb_check.Shared;
+  expect_violation "nesting" (fun () ->
+      Sdb_check.note_acquire l Sdb_check.Shared);
+  Sdb_check.note_release l Sdb_check.Shared
+
+let test_reentry_probe_confirms () =
+  fresh ();
+  let l = Sdb_check.make_lock ~kind:`Vlock "t.probe.ok" in
+  Sdb_check.set_reentry_probe l (fun () -> true);
+  Sdb_check.note_acquire l Sdb_check.Shared;
+  Sdb_check.note_acquire l Sdb_check.Shared;
+  Sdb_check.note_release l Sdb_check.Shared;
+  Sdb_check.note_release l Sdb_check.Shared;
+  check Alcotest.int "no violations" 0
+    (Sdb_check.stats ()).Sdb_check.violations
+
+(* End to end: a real Vlock re-entering Shared while another thread's
+   upgrade is pending, under the sanitizer.  The probe Vlock installs
+   at creation confirms the ownership from the reader registry; before
+   the reader-ownership fix this schedule deadlocked. *)
+let test_reentry_under_pending_upgrade_checked () =
+  fresh ();
+  let l = Vlock.create ~name:"t-rec-pend" () in
+  let entered = ref false in
+  let rt =
+    Thread.create
+      (fun () ->
+        Vlock.acquire l Vlock.Shared;
+        entered := true;
+        while not (Vlock.upgrade_pending l) do
+          Thread.yield ()
+        done;
+        Vlock.acquire l Vlock.Shared;
+        Vlock.release l Vlock.Shared;
+        Vlock.release l Vlock.Shared)
+      ()
+  in
+  while not !entered do
+    Thread.yield ()
+  done;
+  let ut =
+    Thread.create
+      (fun () ->
+        Vlock.acquire l Vlock.Update;
+        Vlock.upgrade l;
+        Vlock.release l Vlock.Exclusive)
+      ()
+  in
+  Thread.join rt;
+  Thread.join ut;
+  check Alcotest.int "no violations" 0
+    (Sdb_check.stats ()).Sdb_check.violations
+
 let test_release_without_hold () =
   fresh ();
   let l = Sdb_check.make_lock "t.rel" in
@@ -245,6 +305,12 @@ let () =
           Alcotest.test_case "same-class nesting" `Quick test_same_class_nesting;
           Alcotest.test_case "recursive read allowed" `Quick
             test_recursive_read_allowed;
+          Alcotest.test_case "re-entry probe mismatch caught" `Quick
+            test_reentry_probe_mismatch;
+          Alcotest.test_case "re-entry probe confirms" `Quick
+            test_reentry_probe_confirms;
+          Alcotest.test_case "re-entry under pending upgrade checked" `Quick
+            test_reentry_under_pending_upgrade_checked;
           Alcotest.test_case "release without hold" `Quick
             test_release_without_hold;
           Alcotest.test_case "upgrade without hold" `Quick

@@ -1,4 +1,6 @@
 module Vlock = Sdb_vlock.Vlock
+module Vlock_core = Sdb_vlock.Vlock_core
+module Metrics = Sdb_obs.Metrics
 
 let check = Alcotest.check
 
@@ -226,6 +228,182 @@ let test_waiting_snapshot () =
   Thread.join t;
   check Alcotest.int "drained" 0 (Vlock.waiting l).Vlock.waiting_update
 
+(* The ISSUE 7 regression, deterministically: a thread already holding
+   Shared re-enters while another thread's upgrade is pending.  Before
+   the reader-ownership fix the nested acquisition parked behind the
+   pending upgrade while the upgrader drained this very reader — a
+   deadlock this test would turn into a timeout. *)
+let test_nested_read_during_pending_upgrade () =
+  let l = Vlock.create () in
+  let reader_in = ref false in
+  let nested_in = ref false in
+  let release_ok = ref false in
+  let rt =
+    spawn (fun () ->
+        Vlock.acquire l Vlock.Shared;
+        reader_in := true;
+        wait_for "upgrade pending" (fun () -> Vlock.upgrade_pending l);
+        Vlock.acquire l Vlock.Shared;
+        check Alcotest.int "both holds registered" 2 (Vlock.shared_hold_count l);
+        nested_in := true;
+        wait_for "release signal" (fun () -> !release_ok);
+        Vlock.release l Vlock.Shared;
+        Vlock.release l Vlock.Shared)
+  in
+  wait_for "reader in" (fun () -> !reader_in);
+  let upgraded = ref false in
+  let ut =
+    spawn (fun () ->
+        Vlock.acquire l Vlock.Update;
+        Vlock.upgrade l;
+        upgraded := true;
+        Vlock.release l Vlock.Exclusive)
+  in
+  wait_for "nested hold acquired under pending upgrade" (fun () -> !nested_in);
+  check Alcotest.bool "upgrade still draining" false !upgraded;
+  release_ok := true;
+  wait_for "upgrade completes once the reader drains" (fun () -> !upgraded);
+  Thread.join rt;
+  Thread.join ut;
+  check Alcotest.int "registry empty" 0 (Vlock.shared_hold_count l);
+  check Alcotest.int "drained" 0 (Vlock.readers l)
+
+(* Randomized version of the same race: nested readers hammering a
+   spinning upgrader.  Any reintroduction of the recursive-read gate
+   hangs this test rather than passing it. *)
+let test_stress_nested_readers_vs_upgrader () =
+  let l = Vlock.create () in
+  let stop = ref false in
+  let upgrader =
+    spawn (fun () ->
+        while not !stop do
+          Vlock.acquire l Vlock.Update;
+          Vlock.upgrade l;
+          Vlock.release l Vlock.Exclusive;
+          Thread.yield ()
+        done)
+  in
+  let lost_holds = ref 0 in
+  let readers =
+    List.init 4 (fun _ ->
+        spawn (fun () ->
+            for _ = 1 to 300 do
+              Vlock.with_lock l Vlock.Shared (fun () ->
+                  Vlock.with_lock l Vlock.Shared (fun () ->
+                      if Vlock.shared_hold_count l < 2 then incr lost_holds))
+            done))
+  in
+  List.iter Thread.join readers;
+  stop := true;
+  Thread.join upgrader;
+  check Alcotest.int "registry never lost a hold" 0 !lost_holds;
+  check Alcotest.int "drained" 0 (Vlock.readers l);
+  check Alcotest.int "registry empty" 0 (Vlock.shared_hold_count l)
+
+(* A SYNC whose [wait] can be told to raise: drives the unwinding paths
+   of the core protocol, single-threaded and deterministically.  The
+   flag is scoped to this test binary, so no cross-test interference. *)
+exception Interrupted
+
+module Flaky_sync = struct
+  type mutex = Mutex.t
+  type cond = Condition.t
+
+  let make_mutex () = Mutex.create ()
+  let make_cond () = Condition.create ()
+  let lock = Mutex.lock
+  let unlock = Mutex.unlock
+  let fail_next = ref false
+
+  let wait c m =
+    if !fail_next then begin
+      fail_next := false;
+      raise Interrupted
+    end
+    else Condition.wait c m
+
+  let broadcast = Condition.broadcast
+  let self () = Thread.id (Thread.self ())
+end
+
+module FV = Vlock_core.Make (Flaky_sync)
+
+let test_acquire_unwinds_on_interrupt () =
+  let open Vlock_core in
+  (* Exclusive interrupted mid-drain: upd/upgrade_pending/w_exclusive
+     must all be unwound, or the lock is wedged for everyone. *)
+  let v = FV.create () in
+  FV.acquire v Shared;
+  Flaky_sync.fail_next := true;
+  (try
+     FV.acquire v Exclusive;
+     Alcotest.fail "exclusive acquire should have been interrupted"
+   with Interrupted -> ());
+  check Alcotest.bool "update flag unwound" false (FV.update_held v);
+  check Alcotest.bool "pending flag unwound" false (FV.upgrade_pending v);
+  check Alcotest.int "exclusive waiter unwound" 0 (FV.waiters v Exclusive);
+  FV.release v Shared;
+  FV.acquire v Exclusive;
+  check Alcotest.bool "lock usable after unwind" true (FV.exclusive_held v);
+  FV.release v Exclusive;
+  (* Upgrade interrupted mid-drain: Update is kept, the withdrawn
+     pending flag must wake the readers it gated. *)
+  let v = FV.create () in
+  FV.acquire v Shared;
+  FV.acquire v Update;
+  Flaky_sync.fail_next := true;
+  (try
+     FV.upgrade v;
+     Alcotest.fail "upgrade should have been interrupted"
+   with Interrupted -> ());
+  check Alcotest.bool "update survives a failed upgrade" true (FV.update_held v);
+  check Alcotest.bool "pending withdrawn" false (FV.upgrade_pending v);
+  FV.release v Update;
+  FV.release v Shared;
+  (* Shared interrupted while gated by an exclusive holder. *)
+  let v = FV.create () in
+  FV.acquire v Exclusive;
+  Flaky_sync.fail_next := true;
+  (try
+     FV.acquire v Shared;
+     Alcotest.fail "shared acquire should have been interrupted"
+   with Interrupted -> ());
+  check Alcotest.int "shared waiter unwound" 0 (FV.waiters v Shared);
+  check Alcotest.int "no phantom reader" 0 (FV.readers v);
+  FV.release v Exclusive
+
+(* Stale-stamp regression: a hold that begins while metrics are off
+   must observe nothing at release even if metrics were re-enabled in
+   between — the old code left the previous hold's timestamp in place
+   and charged the whole disabled interval to the next release. *)
+let test_hold_metrics_toggle () =
+  let was_enabled = Metrics.is_enabled () in
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled was_enabled) @@ fun () ->
+  (* The registry memoizes by name+labels: this returns the same handle
+     vlock.ml observes into. *)
+  let h =
+    Metrics.histogram "sdb_lock_hold_seconds" ~labels:[ ("mode", "update") ]
+  in
+  let count () = (Metrics.histogram_snapshot h).Sdb_util.Histogram.s_count in
+  let l = Vlock.create () in
+  (* Stamp a hold, then release with metrics off: no observation, and
+     crucially the stamp must be cleared. *)
+  Metrics.set_enabled true;
+  Vlock.acquire l Vlock.Update;
+  Metrics.set_enabled false;
+  Vlock.release l Vlock.Update;
+  (* A hold taken while off and released while on has no stamp: it must
+     not observe (and before the fix it observed the stale stamp). *)
+  Vlock.acquire l Vlock.Update;
+  Metrics.set_enabled true;
+  let before = count () in
+  Vlock.release l Vlock.Update;
+  check Alcotest.int "no bogus sample from a stale stamp" before (count ());
+  (* A fully-timed hold still lands. *)
+  Vlock.acquire l Vlock.Update;
+  Vlock.release l Vlock.Update;
+  check Alcotest.int "timed hold observed" (before + 1) (count ())
+
 (* Stress: concurrent readers and writers keep a counter consistent.
    Writers mutate only under exclusive; readers observe only stable
    states (even counter). *)
@@ -274,6 +452,20 @@ let () =
           Alcotest.test_case "upgrade waits, blocks new readers" `Quick
             test_upgrade_waits_for_readers;
           Alcotest.test_case "downgrade" `Quick test_downgrade;
+        ] );
+      ( "recursive-read",
+        [
+          Alcotest.test_case "nested read during pending upgrade" `Quick
+            test_nested_read_during_pending_upgrade;
+          Alcotest.test_case "nested readers vs spinning upgrader" `Quick
+            test_stress_nested_readers_vs_upgrader;
+        ] );
+      ( "unwinding",
+        [
+          Alcotest.test_case "acquire unwinds on interrupt" `Quick
+            test_acquire_unwinds_on_interrupt;
+          Alcotest.test_case "hold metrics survive toggling" `Quick
+            test_hold_metrics_toggle;
         ] );
       ( "safety",
         [
