@@ -199,6 +199,31 @@ let render ~socket ~prev ~cur =
   then
     out "  replica:  outbox %.0f  backlog %.0f  pushes %s\n" outbox backlog
       (fmt_rate (delta "sdb_replica_pushes_total" []));
+  (* Peer health, one entry per peer: the failure detector's verdict
+     (from the sdb_replica_peer_state gauge) plus heartbeat RTT
+     quantiles.  Only shown once a health monitor is running. *)
+  let peer_states =
+    List.filter (fun sm -> sm.s_name = "sdb_replica_peer_state") s
+  in
+  if peer_states <> [] then begin
+    let show sm =
+      let peer =
+        Option.value ~default:"?" (List.assoc_opt "peer" sm.s_labels)
+      in
+      let state =
+        match int_of_float sm.s_value with
+        | 0 -> "alive"
+        | 1 -> "SUSPECT"
+        | 2 -> "DEAD"
+        | _ -> "?"
+      in
+      let extra = [ ("peer", peer) ] in
+      Printf.sprintf "%s %s (hb p50 %s  p99 %s)" peer state
+        (quantile s "sdb_replica_heartbeat_rtt_seconds" extra "0.5")
+        (quantile s "sdb_replica_heartbeat_rtt_seconds" extra "0.99")
+    in
+    out "  peers:    %s\n" (String.concat "   " (List.map show peer_states))
+  end;
   let degraded = Option.value ~default:0.0 (find s "sdb_degraded" []) in
   out "  state:    %s  scrubs %.0f (damage %.0f, repairs %.0f)\n"
     (if degraded > 0.0 then "DEGRADED (read-only)" else "healthy")

@@ -142,6 +142,12 @@ let checkpoint = Db.checkpoint
 let stats = Db.stats
 let health = Db.health
 
+(* The heartbeat enquiry: cheap enough to answer under load (one stats
+   read, no tree walk) and informative enough for a failure detector —
+   the LSN lets the prober watch a peer's progress, not just its
+   liveness. *)
+let ping t = (stats t).Smalldb.lsn
+
 (* The canonical digest of the live state: the wire tree pickles with
    sorted children, so equal trees give equal strings — which the raw
    node pickle (hash tables, insertion-ordered) does not. *)

@@ -95,6 +95,13 @@ val health : t -> Smalldb.health
 (** [`Healthy], [`Degraded reason] (read-only after disk-full — all
     enquiries above still work), or [`Poisoned]. *)
 
+val ping : t -> int
+(** Heartbeat enquiry: the current committed LSN.  Deliberately the
+    cheapest possible round trip (no tree walk, no pickling), so the
+    failure detector's probes stay meaningful under load — a ping that
+    answers proves the server is serving, and the LSN shows whether it
+    is also progressing. *)
+
 val digest : t -> string
 (** Canonical digest of the live state (equal trees — equal digests),
     used to compare replicas and to cross-check scrubs. *)

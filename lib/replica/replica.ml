@@ -2,8 +2,10 @@ module Ns = Sdb_nameserver.Nameserver
 module Ns_data = Sdb_nameserver.Ns_data
 module Proto = Sdb_rpc.Ns_protocol
 module Rpc = Sdb_rpc.Rpc
+module Backoff = Sdb_rpc.Backoff
 module P = Sdb_pickle.Pickle
 module Metrics = Sdb_obs.Metrics
+module Mono = Sdb_util.Mono
 
 let m_pushes =
   Metrics.counter "sdb_replica_pushes_total"
@@ -25,6 +27,22 @@ let m_repairs =
   Metrics.counter "sdb_replica_repairs_total"
     ~help:"Stores rebuilt from a peer's full state (repair_from_peer)."
 
+let m_heartbeats =
+  Metrics.counter "sdb_replica_heartbeats_total"
+    ~help:"Heartbeat probes answered by peers."
+
+let m_heartbeat_failures =
+  Metrics.counter "sdb_replica_heartbeat_failures_total"
+    ~help:"Heartbeat probes that errored or timed out."
+
+let m_transitions =
+  Metrics.counter "sdb_replica_peer_transitions_total"
+    ~help:"Failure-detector state transitions, across all peers."
+
+let m_auto_catchups =
+  Metrics.counter "sdb_replica_auto_catchups_total"
+    ~help:"Anti-entropy rounds started by the health monitor."
+
 (* The commit path must never do I/O: [on_commit] only appends to this
    bounded per-peer outbox; a dedicated sender thread drains it.  A
    peer that errors, times out, or overflows the outbox is marked
@@ -44,6 +62,12 @@ type peer = {
   mutable p_sending : bool;  (* sender has an RPC in flight *)
   mutable p_stop : bool;
   mutable p_thread : Thread.t option;
+  mutable p_detector : Detector.t;  (* guarded by p_mutex *)
+  p_state_g : Metrics.gauge;  (* detector state as 0/1/2 *)
+  p_rtt : Metrics.histogram;  (* heartbeat round-trip time *)
+  (* Catch-up pacing; touched only by the health-monitor thread. *)
+  mutable p_catchup : Backoff.t option;
+  mutable p_next_catchup_s : float;  (* monotonic *)
 }
 
 type peer_report = {
@@ -52,6 +76,37 @@ type peer_report = {
   lagging : bool;
   backlog : int;
   queued : int;
+  health : Detector.state;
+}
+
+(* The health monitor: one thread probing every peer with the cheap
+   [ping] verb each heartbeat interval, feeding a per-peer {!Detector},
+   and — when enabled — running {!catch_up} for peers that are lagging
+   or behind, paced by jittered exponential backoff so a dead peer is
+   not hammered. *)
+type health_config = {
+  detector : Detector.config;
+  auto_catch_up : bool;
+  catch_up_backoff : Backoff.policy;
+      (** pacing of repeated catch-up attempts against an unhealthy
+          peer; reset on the first success *)
+  catch_up_budget : Backoff.Budget.t;
+      (** global limiter on monitor-initiated catch-ups *)
+}
+
+let default_health_config =
+  {
+    detector = Detector.default_config;
+    auto_catch_up = true;
+    catch_up_backoff = Backoff.default;
+    catch_up_budget = Backoff.Budget.unlimited;
+  }
+
+type monitor = {
+  mon_config : health_config;
+  mon_mutex : Sdb_check.Mu.t;
+  mutable mon_stop : bool;
+  mutable mon_thread : Thread.t option;
 }
 
 type t = {
@@ -60,6 +115,7 @@ type t = {
   peers_mutex : Sdb_check.Mu.t;
   mutable peer_list : peer list;
   mutable subscription : Ns.Db.subscription option;
+  mutable health_monitor : monitor option;  (* guarded by peers_mutex *)
 }
 
 let default_outbox_capacity = 256
@@ -193,6 +249,7 @@ let create ~id ns =
       peers_mutex = Sdb_check.Mu.make "replica.peers";
       peer_list = [];
       subscription = None;
+      health_monitor = None;
     }
   in
   t.subscription <- Some (Ns.Db.subscribe (Ns.db ns) (fun lsn u -> on_commit t lsn u));
@@ -204,6 +261,12 @@ let local t = t.ns
 let add_peer ?acked_lsn ?(outbox_capacity = default_outbox_capacity) t ~id client =
   if outbox_capacity < 1 then invalid_arg "Replica.add_peer: outbox_capacity < 1";
   let acked = Option.value acked_lsn ~default:(local_lsn t) in
+  let det_config =
+    Sdb_check.Mu.with_lock t.peers_mutex (fun () ->
+        match t.health_monitor with
+        | Some m -> m.mon_config.detector
+        | None -> Detector.default_config)
+  in
   let p_mutex = Sdb_check.Mu.make "replica.peer" in
   let peer =
     {
@@ -229,6 +292,17 @@ let add_peer ?acked_lsn ?(outbox_capacity = default_outbox_capacity) t ~id clien
       p_sending = false;
       p_stop = false;
       p_thread = None;
+      p_detector = Detector.create ~now:(Mono.now_s ()) det_config;
+      p_state_g =
+        Metrics.gauge "sdb_replica_peer_state"
+          ~help:"Failure-detector state of the peer (0 alive, 1 suspect, 2 dead)."
+          ~labels:[ ("replica", t.replica_id); ("peer", id) ];
+      p_rtt =
+        Metrics.histogram "sdb_replica_heartbeat_rtt_seconds"
+          ~help:"Heartbeat round-trip time to the peer."
+          ~labels:[ ("replica", t.replica_id); ("peer", id) ];
+      p_catchup = None;
+      p_next_catchup_s = 0.0;
     }
   in
   Sdb_check.Mu.with_lock peer.p_mutex (fun () ->
@@ -313,6 +387,161 @@ let catch_up t peer =
 let anti_entropy t = List.iter (catch_up t) (all_peers t)
 
 (* ------------------------------------------------------------------ *)
+(* The health monitor                                                  *)
+
+let detector_state_value = function
+  | Detector.Alive -> 0.0
+  | Detector.Suspect -> 1.0
+  | Detector.Dead -> 2.0
+
+(* Call with [p_mutex] held. *)
+let refresh_state_locked peer =
+  Metrics.set_gauge peer.p_state_g
+    (detector_state_value (Detector.state peer.p_detector))
+
+let note_transition tr =
+  match tr with None -> () | Some (_ : Detector.transition) -> Metrics.incr m_transitions
+
+(* One heartbeat probe.  The ping shares the peer's client with the
+   eager sender — the client's own mutex serializes them — so a probe
+   can queue behind an in-flight push; the client's recv deadline
+   bounds that wait.  Returns the detector state after the probe. *)
+let heartbeat _t peer =
+  let client =
+    Sdb_check.Mu.with_lock peer.p_mutex (fun () ->
+        Detector.probe_started peer.p_detector;
+        peer.p_client)
+  in
+  Sdb_check.assert_no_mutex_held_during_io ~site:"replica.health.ping";
+  let t0 = Mono.now_s () in
+  let outcome =
+    match Proto.Client.ping client with
+    | (_ : int) -> Ok (Mono.now_s () -. t0)
+    | exception Rpc.Rpc_error _ -> Error ()
+  in
+  let now = Mono.now_s () in
+  Sdb_check.Mu.with_lock peer.p_mutex (fun () ->
+      (match outcome with
+      | Ok rtt ->
+        Metrics.incr m_heartbeats;
+        Metrics.observe peer.p_rtt rtt;
+        note_transition (Detector.probe_succeeded peer.p_detector ~now)
+      | Error () ->
+        Metrics.incr m_heartbeat_failures;
+        note_transition (Detector.probe_failed peer.p_detector ~now));
+      refresh_state_locked peer;
+      Detector.state peer.p_detector)
+
+(* Self-healing: a peer that is lagging or behind gets an automatic
+   catch-up, paced by jittered exponential backoff while it keeps
+   failing and reset on the first success.  Dead peers are only probed
+   (cheap); replay resumes once a ping revives them. *)
+let maybe_catch_up t mon peer st =
+  let cfg = mon.mon_config in
+  if cfg.auto_catch_up && st <> Detector.Dead then begin
+    let behind =
+      Sdb_check.Mu.with_lock peer.p_mutex (fun () ->
+          peer.p_lagging || (not peer.p_reachable) || peer.p_acked < local_lsn t)
+    in
+    let now = Mono.now_s () in
+    if behind && now >= peer.p_next_catchup_s then begin
+      if Backoff.Budget.try_spend cfg.catch_up_budget then begin
+        Metrics.incr m_auto_catchups;
+        catch_up t peer;
+        let healthy =
+          Sdb_check.Mu.with_lock peer.p_mutex (fun () ->
+              peer.p_reachable && not peer.p_lagging)
+        in
+        if healthy then begin
+          (match peer.p_catchup with Some b -> Backoff.reset b | None -> ());
+          peer.p_next_catchup_s <- 0.0
+        end
+        else begin
+          let b =
+            match peer.p_catchup with
+            | Some b -> b
+            | None ->
+              let b = Backoff.start cfg.catch_up_backoff in
+              peer.p_catchup <- Some b;
+              b
+          in
+          peer.p_next_catchup_s <- Mono.now_s () +. Backoff.next_s b
+        end
+      end
+      else
+        (* Budget denied: re-check next round without burning more. *)
+        peer.p_next_catchup_s <- now +. cfg.detector.Detector.heartbeat_interval_s
+    end
+  end
+
+let monitor_loop t mon =
+  let interval = mon.mon_config.detector.Detector.heartbeat_interval_s in
+  let stopped () =
+    Sdb_check.Mu.with_lock mon.mon_mutex (fun () -> mon.mon_stop)
+  in
+  (* Sleep in slices so [stop_health] returns promptly. *)
+  let rec sleep remaining =
+    if remaining > 0.0 && not (stopped ()) then begin
+      let dt = Float.min 0.05 remaining in
+      Thread.delay dt;
+      sleep (remaining -. dt)
+    end
+  in
+  while not (stopped ()) do
+    List.iter
+      (fun peer ->
+        if not (stopped ()) then begin
+          let st = heartbeat t peer in
+          maybe_catch_up t mon peer st
+        end)
+      (all_peers t);
+    sleep interval
+  done
+
+let start_health ?(config = default_health_config) t =
+  Detector.validate_config config.detector;
+  Backoff.validate config.catch_up_backoff;
+  Sdb_check.Mu.with_lock t.peers_mutex (fun () ->
+      match t.health_monitor with
+      | Some _ -> invalid_arg "Replica.start_health: monitor already running"
+      | None ->
+        let mon =
+          {
+            mon_config = config;
+            mon_mutex = Sdb_check.Mu.make "replica.health";
+            mon_stop = false;
+            mon_thread = None;
+          }
+        in
+        t.health_monitor <- Some mon;
+        (* Re-arm every detector under the new thresholds. *)
+        let now = Mono.now_s () in
+        List.iter
+          (fun peer ->
+            Sdb_check.Mu.with_lock peer.p_mutex (fun () ->
+                peer.p_detector <- Detector.create ~now config.detector;
+                refresh_state_locked peer))
+          t.peer_list;
+        mon.mon_thread <- Some (Thread.create (fun () -> monitor_loop t mon) ()))
+
+let stop_health t =
+  let mon =
+    Sdb_check.Mu.with_lock t.peers_mutex (fun () ->
+        let m = t.health_monitor in
+        t.health_monitor <- None;
+        m)
+  in
+  match mon with
+  | None -> ()
+  | Some mon ->
+    Sdb_check.Mu.with_lock mon.mon_mutex (fun () -> mon.mon_stop <- true);
+    (match mon.mon_thread with
+    | Some th ->
+      Thread.join th;
+      mon.mon_thread <- None
+    | None -> ())
+
+(* ------------------------------------------------------------------ *)
 (* Introspection and lifecycle                                         *)
 
 let peers t =
@@ -326,11 +555,14 @@ let peers t =
             lagging = p.p_lagging;
             backlog = max 0 (tip - p.p_acked);
             queued = Queue.length (Sdb_check.Guarded.get p.p_queue);
+            health = Detector.state p.p_detector;
           }))
     (all_peers t)
 
 let flush ?(timeout_s = 5.0) t =
-  let deadline = Unix.gettimeofday () +. timeout_s in
+  (* Monotonic: a wall-clock step (NTP, manual set) must not turn a
+     5 s flush wait into an hour — or into zero. *)
+  let deadline = Mono.now_s () +. timeout_s in
   let rec wait_peer peer =
     let state =
       Sdb_check.Mu.with_lock peer.p_mutex (fun () ->
@@ -345,7 +577,7 @@ let flush ?(timeout_s = 5.0) t =
     | `Drained -> true
     | `Parked -> false
     | `Busy ->
-      if Unix.gettimeofday () >= deadline then false
+      if Mono.now_s () >= deadline then false
       else begin
         Thread.delay 0.001;
         wait_peer peer
@@ -354,6 +586,7 @@ let flush ?(timeout_s = 5.0) t =
   List.fold_left (fun acc peer -> wait_peer peer && acc) true (all_peers t)
 
 let shutdown t =
+  stop_health t;
   (match t.subscription with
   | Some s -> Ns.Db.unsubscribe (Ns.db t.ns) s
   | None -> ());
@@ -384,22 +617,63 @@ let converged_with t peer_client =
   | peer_digest -> String.equal (digest t.ns) peer_digest
   | exception Rpc.Rpc_error _ -> false
 
+(* Resumable state transfer: [fetch_meta] pins the encoding of the
+   peer's state at one LSN; chunks of exactly that string are fetched
+   idempotently, so a connection reset mid-transfer costs at most one
+   chunk — the client reconnects and the next [fetch_chunk] resumes at
+   the first byte still missing.  When the peer's state moves past the
+   pinned LSN the server answers [None] and the transfer restarts from
+   fresh meta; the reassembled bytes are digest-verified before use. *)
+let fetch_state_resumable ?(chunk_bytes = 64 * 1024) ?(max_restarts = 8)
+    client =
+  if chunk_bytes < 1 then
+    invalid_arg "Replica.fetch_state_resumable: chunk_bytes < 1";
+  let rec start restarts =
+    if restarts > max_restarts then
+      Error "state transfer: peer state kept moving; too many restarts"
+    else
+      match Proto.Client.fetch_meta client with
+      | exception Rpc.Rpc_error m -> Error ("fetch_meta: " ^ m)
+      | lsn, peer_digest, total ->
+        let buf = Buffer.create (max total 16) in
+        let rec chunks () =
+          let off = Buffer.length buf in
+          if off >= total then `Done
+          else
+            match
+              Proto.Client.fetch_chunk client ~lsn ~offset:off ~len:chunk_bytes
+            with
+            | Some s when String.length s > 0 ->
+              Buffer.add_string buf s;
+              chunks ()
+            | Some _ | None -> `Moved
+            | exception Rpc.Rpc_error m -> `Err m
+        in
+        (match chunks () with
+        | `Err m -> Error ("fetch_chunk: " ^ m)
+        | `Moved -> start (restarts + 1)
+        | `Done ->
+          let bytes = Buffer.contents buf in
+          if not (String.equal (Digest.string bytes) peer_digest) then
+            (* Wrong bytes despite a stable LSN: refuse and refetch. *)
+            start (restarts + 1)
+          else (
+            match P.decode_result Ns_data.codec_tree bytes with
+            | Ok tree -> Ok (tree, lsn, peer_digest)
+            | Error e -> Error ("state transfer: undecodable state: " ^ e)))
+  in
+  start 0
+
 (* §4: "restoring its data from another replica".  Unlike [clone_from]
    this works on the {e damaged} store itself — including when [open_]
    refuses it (e.g. interior log damage with committed entries beyond):
    the transferred state is digest-verified, the wrecked files are
    wiped, and the store is rebuilt and checkpointed in place. *)
-let repair_from_peer ?config peer_client fs =
-  match Proto.Client.fetch_state peer_client with
-  | exception Rpc.Rpc_error m -> Error ("repair_from_peer: " ^ m)
-  | tree, _lsn, peer_digest ->
-    if
-      not
-        (String.equal
-           (Digest.string (P.encode Ns_data.codec_tree tree))
-           peer_digest)
-    then Error "repair_from_peer: transferred state does not match peer digest"
-    else begin
+let repair_from_peer ?config ?chunk_bytes peer_client fs =
+  match fetch_state_resumable ?chunk_bytes peer_client with
+  | Error m -> Error ("repair_from_peer: " ^ m)
+  | Ok (tree, _lsn, peer_digest) ->
+    begin
       List.iter
         (fun f -> try fs.Sdb_storage.Fs.remove f with _ -> ())
         (fs.Sdb_storage.Fs.list_files ());

@@ -25,7 +25,15 @@
     transport hangs, errors, or whose outbox overflows is marked
     {e lagging}: eager delivery is suspended and the next
     {!anti_entropy} resynchronizes it.  Local update latency is
-    therefore independent of peer health and of the RPC deadline. *)
+    therefore independent of peer health and of the RPC deadline.
+
+    {b Self-healing.}  {!start_health} runs a monitor thread that
+    probes every peer with the protocol's cheap [ping] verb on a fixed
+    heartbeat interval, drives a per-peer {!Detector} (alive → suspect
+    → dead, monotonic-clock deadlines), and automatically catches up
+    peers that are lagging or behind — paced by jittered exponential
+    backoff while they keep failing — so a partition that heals
+    converges without anyone calling {!anti_entropy} by hand. *)
 
 type t
 
@@ -37,6 +45,9 @@ type peer_report = {
           commit); {!anti_entropy} will resynchronize *)
   backlog : int;  (** local updates not yet acknowledged by this peer *)
   queued : int;  (** updates currently waiting in the peer's outbox *)
+  health : Detector.state;
+      (** the failure detector's verdict; [Alive] until {!start_health}
+          has probed the peer *)
 }
 
 val create : id:string -> Sdb_nameserver.Nameserver.t -> t
@@ -74,6 +85,38 @@ val update : t -> Sdb_nameserver.Nameserver.update -> unit
 val set_value : t -> Sdb_nameserver.Name_path.t -> string option -> unit
 val delete_subtree : t -> Sdb_nameserver.Name_path.t -> unit
 
+(** {1 Health monitoring and self-healing} *)
+
+type health_config = {
+  detector : Detector.config;  (** heartbeat period and thresholds *)
+  auto_catch_up : bool;
+      (** when true (default), the monitor runs {!anti_entropy}'s
+          per-peer catch-up automatically for lagging/behind peers *)
+  catch_up_backoff : Sdb_rpc.Backoff.policy;
+      (** pacing of repeated catch-up attempts against a peer that
+          keeps failing; reset on the first success *)
+  catch_up_budget : Sdb_rpc.Backoff.Budget.t;
+      (** global rate limiter on monitor-initiated catch-ups (default
+          unlimited) *)
+}
+
+val default_health_config : health_config
+
+val start_health : ?config:health_config -> t -> unit
+(** Start the monitor thread: probe every peer each heartbeat
+    interval, update its detector, export
+    [sdb_replica_peer_state]/[sdb_replica_heartbeat_rtt_seconds], and
+    (unless disabled) catch up unhealthy peers automatically.  Every
+    peer's detector is re-armed [Alive] under the new thresholds.
+    Raises [Invalid_argument] if already running or the config is
+    invalid.  Give peer clients a recv deadline: a probe shares the
+    peer's client with the eager sender, and the deadline bounds how
+    long a hung push can delay the probe. *)
+
+val stop_health : t -> unit
+(** Stop and join the monitor thread (idempotent).  {!shutdown} calls
+    this first. *)
+
 val anti_entropy : t -> unit
 (** Catch every peer up: replay the log suffix it is missing, or ship
     a full snapshot when the log no longer covers it.  Clears the
@@ -103,15 +146,30 @@ val clone_from :
 (** Hard-error recovery: rebuild a replica's database from a peer's
     snapshot into a fresh store, then checkpoint it. *)
 
+val fetch_state_resumable :
+  ?chunk_bytes:int -> ?max_restarts:int ->
+  Sdb_rpc.Ns_protocol.Client.t ->
+  (Sdb_nameserver.Ns_data.tree * int * string, string) result
+(** Pull a peer's full state in [chunk_bytes] pieces (default 64 KiB)
+    via the resumable [fetch_meta]/[fetch_chunk] verbs: a connection
+    reset mid-transfer costs at most one chunk (the idempotent chunk
+    call is retried over a reconnect, resuming at the first missing
+    byte) instead of the whole state.  If the peer's state moves past
+    the pinned LSN the transfer restarts, at most [max_restarts]
+    (default 8) times.  Returns [(tree, lsn, digest)] with the
+    reassembled bytes verified against the peer's digest. *)
+
 val repair_from_peer :
-  ?config:Smalldb.config ->
+  ?config:Smalldb.config -> ?chunk_bytes:int ->
   Sdb_rpc.Ns_protocol.Client.t -> Sdb_storage.Fs.t ->
   (Sdb_nameserver.Nameserver.t, string) result
 (** §4's restore-from-replica, automated, on the {e damaged} store
     itself — usable when [open_] refuses the store outright (e.g.
     interior log damage with committed entries beyond it).  Pulls the
-    peer's full state via the [fetch_state] RPC, verifies the transfer
-    against the peer's canonical digest, wipes the store's files,
-    rebuilds, checkpoints, and verifies the rebuilt digest.  The lost
-    tail, if any, is "only those updates that had been applied to the
-    damaged replica but not propagated to any other replica" (§4). *)
+    peer's full state with {!fetch_state_resumable} (so a mid-transfer
+    connection reset resumes instead of restarting), verifies the
+    transfer against the peer's canonical digest, wipes the store's
+    files, rebuilds, checkpoints, and verifies the rebuilt digest.
+    The lost tail, if any, is "only those updates that had been
+    applied to the damaged replica but not propagated to any other
+    replica" (§4). *)

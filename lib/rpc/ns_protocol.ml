@@ -56,6 +56,20 @@ let codec_health =
 
 let handlers ns =
   let h = Rpc.Server.handler in
+  (* Chunked-state cache for the resumable transfer verbs: the encoded
+     snapshot at one LSN, kept per connection (handlers are built per
+     [serve]) so repeated [fetch_chunk] calls do not re-pickle the
+     whole tree.  A chunk request for a different LSN than the cached
+     one re-snapshots; if the store has moved past the requested LSN
+     the request is refused and the client restarts from fresh meta. *)
+  let chunk_cache = ref None (* (lsn, digest, bytes) *) in
+  let encoded_state () =
+    let tree, lsn = Ns.snapshot_with_lsn ns in
+    let bytes = P.encode codec_tree tree in
+    let meta = (lsn, Digest.string bytes, bytes) in
+    chunk_cache := Some meta;
+    meta
+  in
   [
     h ~meth:"lookup" codec_path codec_value (fun p -> Ns.lookup ns p);
     h ~meth:"exists" codec_path P.bool (fun p -> Ns.exists ns p);
@@ -114,6 +128,39 @@ let handlers ns =
         (tree, lsn, Digest.string (P.encode codec_tree tree)));
     h ~meth:"scrub" P.bool codec_scrub_report (fun repair -> Ns.scrub ~repair ns);
     h ~meth:"health" P.unit codec_health (fun () -> Ns.health ns);
+    (* Heartbeat: the failure detector's probe.  Must stay the cheapest
+       verb in the table (see {!Ns.ping}). *)
+    h ~meth:"ping" P.unit P.int (fun () -> Ns.ping ns);
+    (* Resumable state transfer: [fetch_meta] pins (lsn, digest, size);
+       [fetch_chunk] returns byte ranges of that exact encoding, or
+       [None] when the pinned LSN is no longer current — the client
+       then restarts from fresh meta.  A repair interrupted by a
+       connection reset resumes from the last byte it holds instead of
+       re-shipping the whole state. *)
+    h ~meth:"fetch_meta" P.unit
+      (P.triple P.int P.string P.int)
+      (fun () ->
+        let lsn, digest, bytes = encoded_state () in
+        (lsn, digest, String.length bytes));
+    h ~meth:"fetch_chunk"
+      (P.triple P.int P.int P.int)
+      (P.option P.string)
+      (fun (lsn, offset, len) ->
+        if offset < 0 || len < 0 then None
+        else
+          let cached =
+            match !chunk_cache with
+            | Some ((l, _, _) as c) when l = lsn -> Some c
+            | _ ->
+              let (l, _, _) as c = encoded_state () in
+              if l = lsn then Some c else None
+          in
+          match cached with
+          | None -> None
+          | Some (_, _, bytes) ->
+            let total = String.length bytes in
+            if offset > total then None
+            else Some (String.sub bytes offset (min len (total - offset))));
   ]
 
 let serve ns transport = Rpc.Server.serve ~handlers:(handlers ns) transport
@@ -121,8 +168,8 @@ let serve ns transport = Rpc.Server.serve ~handlers:(handlers ns) transport
 module Client = struct
   type t = Rpc.Client.t
 
-  let create ?deadline_s ?retry ?reconnect transport =
-    Rpc.Client.create ?deadline_s ?retry ?reconnect transport
+  let create ?deadline_s ?retry ?retry_budget ?reconnect transport =
+    Rpc.Client.create ?deadline_s ?retry ?retry_budget ?reconnect transport
 
   let close = Rpc.Client.close
   let calls = Rpc.Client.calls
@@ -207,4 +254,15 @@ module Client = struct
      repair is a no-op on an already-clean store — safe to re-send. *)
   let scrub t ~repair = call ~idempotent:true t ~meth:"scrub" P.bool codec_scrub_report repair
   let health t = call ~idempotent:true t ~meth:"health" P.unit codec_health ()
+  let ping t = call ~idempotent:true t ~meth:"ping" P.unit P.int ()
+
+  let fetch_meta t =
+    call ~idempotent:true t ~meth:"fetch_meta" P.unit
+      (P.triple P.int P.string P.int)
+      ()
+
+  let fetch_chunk t ~lsn ~offset ~len =
+    call ~idempotent:true t ~meth:"fetch_chunk"
+      (P.triple P.int P.int P.int)
+      (P.option P.string) (lsn, offset, len)
 end

@@ -18,6 +18,7 @@ module Client : sig
   val create :
     ?deadline_s:float ->
     ?retry:Rpc.retry_policy ->
+    ?retry_budget:Backoff.Budget.t ->
     ?reconnect:(unit -> Rpc.Transport.t) ->
     Rpc.Transport.t -> t
   (** See {!Rpc.Client.create}.  Every procedure except [cas] and
@@ -99,4 +100,22 @@ module Client : sig
       {!Sdb_nameserver.Nameserver.scrub}). *)
 
   val health : t -> Smalldb.health
+
+  val ping : t -> int
+  (** Heartbeat probe: the server's committed LSN.  The cheapest round
+      trip in the protocol — what the replica failure detector sends. *)
+
+  val fetch_meta : t -> int * string * int
+  (** Begin (or restart) a resumable state transfer: [(lsn, digest,
+      total_bytes)] of the server's canonically-encoded state.  Chunks
+      fetched with the returned [lsn] compose into exactly the string
+      whose MD5 is [digest]. *)
+
+  val fetch_chunk : t -> lsn:int -> offset:int -> len:int -> string option
+  (** Bytes [\[offset, offset+len)] (clamped to the total) of the
+      encoding pinned by {!fetch_meta} at [lsn]; [None] when the
+      server's state has moved past that LSN — restart from
+      {!fetch_meta}.  Idempotent, so a transfer interrupted by a
+      connection reset resumes at the first byte the receiver is
+      missing. *)
 end

@@ -91,8 +91,10 @@ module Bqueue = struct
       v
     | Some dt ->
       (* OCaml's [Condition] has no timed wait; a fine-grained poll is
-         adequate for the in-process transport's deadline support. *)
-      let deadline = Unix.gettimeofday () +. dt in
+         adequate for the in-process transport's deadline support.  The
+         deadline is monotonic: an NTP step must not expire it early or
+         extend it (satellite of ISSUE 8). *)
+      let deadline = Sdb_util.Mono.now_s () +. dt in
       let rec wait () =
         Sdb_check.Mu.lock t.m;
         if not (Queue.is_empty t.q) then begin
@@ -106,7 +108,7 @@ module Bqueue = struct
         end
         else begin
           Sdb_check.Mu.unlock t.m;
-          if Unix.gettimeofday () >= deadline then
+          if Sdb_util.Mono.now_s () >= deadline then
             err "%s" Transport.deadline_exceeded
           else begin
             Thread.delay 0.0005;
@@ -392,6 +394,7 @@ type retry_policy = {
   initial_backoff_s : float;
   backoff_multiplier : float;
   max_backoff_s : float;
+  jitter : bool;
 }
 
 let no_retry =
@@ -400,6 +403,7 @@ let no_retry =
     initial_backoff_s = 0.0;
     backoff_multiplier = 1.0;
     max_backoff_s = 0.0;
+    jitter = false;
   }
 
 let default_retry =
@@ -408,6 +412,15 @@ let default_retry =
     initial_backoff_s = 0.02;
     backoff_multiplier = 2.0;
     max_backoff_s = 1.0;
+    jitter = true;
+  }
+
+let backoff_of_retry r =
+  {
+    Backoff.initial_s = r.initial_backoff_s;
+    multiplier = r.backoff_multiplier;
+    max_s = r.max_backoff_s;
+    jitter = r.jitter;
   }
 
 module Client = struct
@@ -423,10 +436,15 @@ module Client = struct
     Metrics.counter "sdb_rpc_client_reconnects_total"
       ~help:"Fresh transports established for a broken client."
 
+  let m_budget_denied =
+    Metrics.counter "sdb_rpc_client_retries_denied_total"
+      ~help:"Retries refused because the shared retry budget was empty."
+
   type t = {
     mutable transport : Transport.t;
     deadline_s : float option;
     retry : retry_policy;
+    retry_budget : Backoff.Budget.t;
     reconnect : (unit -> Transport.t) option;
     (* Held across the whole call, transport I/O included: that IS the
        per-connection serialization contract, so the engine-side
@@ -439,14 +457,17 @@ module Client = struct
     mutable closed : bool;
   }
 
-  let create ?deadline_s ?(retry = no_retry) ?reconnect transport =
+  let create ?deadline_s ?(retry = no_retry)
+      ?(retry_budget = Backoff.Budget.unlimited) ?reconnect transport =
     if retry.max_attempts < 1 then
       invalid_arg "Rpc.Client.create: retry.max_attempts must be >= 1";
+    Backoff.validate (backoff_of_retry retry);
     transport.Transport.set_recv_timeout deadline_s;
     {
       transport;
       deadline_s;
       retry;
+      retry_budget;
       reconnect;
       mutex = Sdb_check.Mu.make "rpc.client";
       next_id = 0;
@@ -516,26 +537,32 @@ module Client = struct
   (* Retries are confined to transport-level failures (the client is
      broken afterwards) of calls declared idempotent; a server-side
      error returns at once, and a non-idempotent call is never
-     re-sent — the first attempt may have executed. *)
+     re-sent — the first attempt may have executed.  Delays come from
+     {!Backoff} (exponential, full jitter, capped) and each retry
+     spends a token from the client's budget: when a partition heals,
+     a fleet of poisoned clients must trickle back, not stampede. *)
   let call ?(idempotent = false) t ~meth arg_codec ret_codec a =
     Sdb_check.Mu.lock t.mutex;
     Fun.protect
       ~finally:(fun () -> Sdb_check.Mu.unlock t.mutex)
       (fun () ->
         let attempts = if idempotent then t.retry.max_attempts else 1 in
-        let rec go n backoff =
+        let backoff = Backoff.start (backoff_of_retry t.retry) in
+        let rec go n =
           match attempt t ~meth arg_codec ret_codec a with
           | v -> v
-          | exception Rpc_error _ when t.is_broken && n < attempts
-                                       && t.reconnect <> None ->
+          | exception (Rpc_error _ as e)
+            when t.is_broken && n < attempts && t.reconnect <> None ->
+            if not (Backoff.Budget.try_spend t.retry_budget) then begin
+              Metrics.incr m_budget_denied;
+              raise e
+            end;
             Metrics.incr m_retries;
-            if backoff > 0.0 then Thread.delay backoff;
+            let delay = Backoff.next_s backoff in
+            if delay > 0.0 then Thread.delay delay;
             go (n + 1)
-              (min
-                 (backoff *. t.retry.backoff_multiplier)
-                 t.retry.max_backoff_s)
         in
-        go 1 t.retry.initial_backoff_s)
+        go 1)
 
   let calls t = t.n_calls
   let broken t = t.is_broken

@@ -72,14 +72,23 @@ type retry_policy = {
   initial_backoff_s : float;
   backoff_multiplier : float;
   max_backoff_s : float;
+  jitter : bool;
+      (** full jitter (see {!Backoff}): each delay is drawn uniformly
+          from [\[0, base)] so synchronized failures decorrelate *)
 }
-(** Exponential backoff between re-attempts of idempotent calls. *)
+(** Exponential backoff between re-attempts of idempotent calls,
+    interpreted by {!Backoff}. *)
 
 val no_retry : retry_policy
 (** A single attempt (the default). *)
 
 val default_retry : retry_policy
-(** 3 attempts, 20 ms initial backoff, doubling, capped at 1 s. *)
+(** 3 attempts, 20 ms initial backoff, doubling, capped at 1 s, with
+    full jitter. *)
+
+val backoff_of_retry : retry_policy -> Backoff.policy
+(** The delay schedule of a retry policy, for callers (the replica's
+    health monitor) that pace their own retries with the same rules. *)
 
 module Client : sig
   type t
@@ -87,14 +96,18 @@ module Client : sig
   val create :
     ?deadline_s:float ->
     ?retry:retry_policy ->
+    ?retry_budget:Backoff.Budget.t ->
     ?reconnect:(unit -> Transport.t) ->
     Transport.t -> t
   (** [deadline_s] bounds every call's wait for a response; an expired
       deadline raises {!Rpc_error} and {e poisons} the client (see
       {!broken}).  [retry] governs re-attempts of calls made with
-      [~idempotent:true].  [reconnect] supplies a fresh transport when
-      the previous one is poisoned — without it a broken client fails
-      every subsequent call. *)
+      [~idempotent:true].  [retry_budget] (default unlimited) is a
+      token bucket, typically shared across many clients, that each
+      retry must spend from — an empty bucket fails the call at once
+      instead of amplifying load during an outage.  [reconnect]
+      supplies a fresh transport when the previous one is poisoned —
+      without it a broken client fails every subsequent call. *)
 
   val call :
     ?idempotent:bool ->

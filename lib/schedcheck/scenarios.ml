@@ -289,3 +289,76 @@ let replica_outbox ~pushes ~capacity () =
         (List.length d + !dropped = pushes)
         "outbox: delivered + dropped <> pushed")
     [ ("committer", committer); ("sender", sender) ]
+
+(* ------------------------------------------------------------------ *)
+
+let failure_detector ~probes () =
+  (* The real shipped detector ([lib/replica/detector.ml]) under the
+     virtual scheduler: a prober thread runs a scripted sequence of
+     heartbeat outcomes with a scheduling point while each probe is in
+     flight, racing a ticker that advances virtual time and ages the
+     detector.  The invariants are exactly the detector's contract:
+
+     - the only transitions into Alive are caused by a probe success
+       (so a peer never revives by aging — dead stays dead until a
+       heartbeat actually answers), and
+     - aging and failures only ever demote (alive → suspect → dead),
+       so suspicion is never lost while a probe is still in flight. *)
+  let module D = Sdb_replica.Detector in
+  let m = Schedcheck.Mutex.create "detector.mutex" in
+  let cfg =
+    { D.heartbeat_interval_s = 1.0; suspect_after_s = 2.0; dead_after_s = 4.0 }
+  in
+  let now = ref 0.0 in
+  let d = D.create ~now:!now cfg in
+  let seen = ref [] in
+  let note tr = match tr with None -> () | Some tr -> seen := tr :: !seen in
+  let rank = function D.Alive -> 0 | D.Suspect -> 1 | D.Dead -> 2 in
+  let prober () =
+    List.iter
+      (fun ok ->
+        Schedcheck.Mutex.atomically m "probe start" (fun () ->
+            D.probe_started d);
+        (* The RPC is in flight: everything else may interleave here. *)
+        Schedcheck.yield "probe in flight";
+        Schedcheck.Mutex.atomically m "probe done" (fun () ->
+            let t = !now in
+            note (if ok then D.probe_succeeded d ~now:t
+                  else D.probe_failed d ~now:t)))
+      probes
+  in
+  let ticker () =
+    for _ = 1 to 3 do
+      Schedcheck.Mutex.atomically m "advance and tick" (fun () ->
+          now := !now +. 2.5;
+          note (D.tick d ~now:!now))
+    done
+  in
+  let check_transitions () =
+    List.iter
+      (fun tr ->
+        (match tr.D.tr_cause with
+        | `Success -> ()
+        | `Failure | `Timeout ->
+          check
+            (rank tr.D.tr_to > rank tr.D.tr_from)
+            "detector: failure/aging transition did not demote");
+        check
+          (tr.D.tr_to <> D.Alive || tr.D.tr_cause = `Success)
+          "detector: revived without a successful heartbeat")
+      !seen
+  in
+  Schedcheck.scenario ~invariant:check_transitions
+    ~finale:(fun () ->
+      check_transitions ();
+      (* The ticker alone pushed age past dead_after_s: unless the very
+         last recorded outcome is a success, the peer must not be
+         Alive at the end. *)
+      match !seen with
+      | { D.tr_cause = `Success; _ } :: _ -> ()
+      | _ ->
+        check
+          (D.state d <> D.Alive || List.for_all (fun ok -> ok) probes
+           && !seen = [])
+          "detector: alive at end without a closing success")
+    [ ("prober", prober); ("ticker", ticker) ]

@@ -52,3 +52,14 @@ val replica_outbox : pushes:int -> capacity:int -> unit -> Schedcheck.scenario
     Checks: FIFO delivery, delivered + dropped = pushed, clean
     shutdown in every interleaving (a missed wakeup shows up as a
     deadlock). *)
+
+val failure_detector : probes:bool list -> unit -> Schedcheck.scenario
+(** The replica failure detector ([Sdb_replica.Detector] — the shipped
+    code, not a model): a prober running the scripted heartbeat
+    outcomes (with a scheduling point while each probe is in flight)
+    races a ticker advancing virtual time.  Checks, in every
+    interleaving: the only transitions into [Alive] are probe
+    successes (a dead peer never revives by aging), aging and failures
+    strictly demote (suspicion is never lost while a probe is in
+    flight), and a run whose last recorded outcome is not a success
+    does not end [Alive]. *)

@@ -1,0 +1,25 @@
+/* CLOCK_MONOTONIC for deadline arithmetic.
+
+   Every deadline in the tree (RPC recv timeouts, replica flush,
+   heartbeat thresholds, backoff pacing) must survive a wall-clock step:
+   an NTP adjustment through Unix.gettimeofday would expire or extend
+   them arbitrarily.  clock_gettime(CLOCK_MONOTONIC) is immune; it
+   exists on every platform the suite targets (Linux, macOS >= 10.12,
+   the BSDs). */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value sdb_mono_now_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0) {
+    /* Effectively unreachable on supported platforms; a zero reading
+       is still monotone from the caller's point of view because the
+       OCaml side clamps regressions. */
+    return caml_copy_int64(0);
+  }
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

@@ -375,6 +375,200 @@ let test_scrub_and_health_rpc () =
   Thread.join thread;
   teardown a
 
+(* ------------------------------------------------------------------ *)
+(* Network-fault survival                                              *)
+
+module Detector = Sdb_replica.Detector
+module Backoff = Sdb_rpc.Backoff
+module Fault_net = Sdb_rpc.Fault_net
+
+let wait_for ?(timeout_s = 5.0) f =
+  let deadline = Sdb_util.Mono.now_s () +. timeout_s in
+  let rec go () =
+    if f () then true
+    else if Sdb_util.Mono.now_s () >= deadline then false
+    else begin
+      Thread.delay 0.01;
+      go ()
+    end
+  in
+  go ()
+
+let peer_health replica =
+  match Replica.peers replica with
+  | [ r ] -> r.Replica.health
+  | _ -> Alcotest.fail "one peer expected"
+
+let fast_health =
+  {
+    Replica.detector =
+      {
+        Detector.heartbeat_interval_s = 0.05;
+        suspect_after_s = 0.15;
+        dead_after_s = 0.5;
+      };
+    auto_catch_up = true;
+    catch_up_backoff =
+      { Backoff.initial_s = 0.02; multiplier = 2.0; max_s = 0.2; jitter = true };
+    catch_up_budget = Backoff.Budget.unlimited;
+  }
+
+let test_anti_entropy_races_commits () =
+  (* Anti-entropy replaying a log suffix while fresh commits keep
+     arriving: the two paths serialize per peer (catch-up parks the
+     sender and drains any in-flight push), and the replicas converge
+     once both finish — no deadlock, no lost update. *)
+  let a = make_cell "a" 60 and b = make_cell "b" 61 in
+  ignore (connect a b);
+  Replica.set_value a.replica (p "/seed") (Some "0");
+  check Alcotest.bool "seeded" true (Replica.flush a.replica);
+  (* Partition, accumulate a suffix to replay. *)
+  shutdown b;
+  for i = 1 to 20 do
+    Replica.set_value a.replica (p (Printf.sprintf "/pre/%d" i)) (Some "x")
+  done;
+  ignore (Replica.flush ~timeout_s:0.5 a.replica);
+  ignore (connect ~how:`Reconnect a b);
+  (* Race: a writer commits while anti-entropy replays. *)
+  let writer =
+    Thread.create
+      (fun () ->
+        for i = 1 to 30 do
+          Replica.set_value a.replica (p (Printf.sprintf "/race/%d" i)) (Some "y");
+          if i mod 10 = 0 then Thread.delay 0.001
+        done)
+      ()
+  in
+  Replica.anti_entropy a.replica;
+  Thread.join writer;
+  (* Whatever raced past the catch-up is drained by the outbox or one
+     more round; either way the stores converge. *)
+  ignore (Replica.flush a.replica);
+  if not (String.equal (Replica.digest a.ns) (Replica.digest b.ns)) then begin
+    Replica.anti_entropy a.replica;
+    ignore (Replica.flush a.replica)
+  end;
+  check Alcotest.string "converged under racing commits" (Replica.digest a.ns)
+    (Replica.digest b.ns);
+  check Alcotest.(option string) "late value present" (Some "y")
+    (Ns.lookup b.ns (p "/race/30"));
+  teardown a;
+  teardown b
+
+let test_flapping_peer_applies_exactly_once () =
+  (* A peer that flaps reachable → unreachable → reachable: after each
+     heal the outbox/anti-entropy drains exactly the missed suffix.
+     Every commit on [b] is counted through its subscription stream —
+     duplicate application would show up as extra commits. *)
+  let a = make_cell "a" 62 and b = make_cell "b" 63 in
+  let applied = Atomic.make 0 in
+  let sub =
+    Ns.Db.subscribe (Ns.db b.ns) (fun _lsn _u -> Atomic.incr applied)
+  in
+  ignore (connect a b);
+  let batch tag =
+    for i = 1 to 10 do
+      Replica.set_value a.replica (p (Printf.sprintf "/%s/%d" tag i)) (Some tag)
+    done
+  in
+  batch "up1";
+  check Alcotest.bool "drained while up" true (Replica.flush a.replica);
+  (* Flap down: these commits must wait for the heal. *)
+  shutdown b;
+  batch "down1";
+  ignore (Replica.flush ~timeout_s:0.3 a.replica);
+  ignore (connect ~how:`Reconnect a b);
+  Replica.anti_entropy a.replica;
+  (* Flap again. *)
+  shutdown b;
+  batch "down2";
+  ignore (Replica.flush ~timeout_s:0.3 a.replica);
+  ignore (connect ~how:`Reconnect a b);
+  Replica.anti_entropy a.replica;
+  batch "up2";
+  check Alcotest.bool "drained after second heal" true (Replica.flush a.replica);
+  check Alcotest.string "converged" (Replica.digest a.ns) (Replica.digest b.ns);
+  check Alcotest.int "each update applied exactly once" 40 (Atomic.get applied);
+  Ns.Db.unsubscribe (Ns.db b.ns) sub;
+  teardown a;
+  teardown b
+
+let test_heartbeat_detects_and_self_heals () =
+  (* The acceptance scenario, in miniature: partition → suspect → dead
+     while commits keep flowing, then heal → revive → automatic
+     convergence with no manual anti_entropy call. *)
+  let a = make_cell "a" 64 and b = make_cell "b" 65 in
+  ignore (connect a b);
+  Replica.start_health ~config:fast_health a.replica;
+  Replica.set_value a.replica (p "/h/pre") (Some "1");
+  check Alcotest.bool "replicating while alive" true (Replica.flush a.replica);
+  check Alcotest.bool "probed alive" true
+    (wait_for (fun () -> peer_health a.replica = Detector.Alive));
+  (* Partition: kill b's server side. *)
+  shutdown b;
+  (* Commits never block on the dead peer. *)
+  let t0 = Sdb_util.Mono.now_s () in
+  Replica.set_value a.replica (p "/h/during") (Some "2");
+  let dt = Sdb_util.Mono.now_s () -. t0 in
+  check Alcotest.bool "commit latency independent of the partition" true
+    (dt < 0.5);
+  check Alcotest.bool "suspected within threshold" true
+    (wait_for ~timeout_s:2.0 (fun () -> peer_health a.replica <> Detector.Alive));
+  check Alcotest.bool "declared dead within threshold" true
+    (wait_for ~timeout_s:3.0 (fun () -> peer_health a.replica = Detector.Dead));
+  (* Dead stays dead without a successful heartbeat. *)
+  Thread.delay 0.2;
+  check Alcotest.bool "no spontaneous revival" true
+    (peer_health a.replica = Detector.Dead);
+  (* Heal.  The monitor must revive the peer and converge on its own. *)
+  ignore (connect ~how:`Reconnect a b);
+  check Alcotest.bool "revived by a successful heartbeat" true
+    (wait_for ~timeout_s:3.0 (fun () -> peer_health a.replica = Detector.Alive));
+  check Alcotest.bool "self-healed without manual anti-entropy" true
+    (wait_for ~timeout_s:5.0 (fun () ->
+         String.equal (Replica.digest a.ns) (Replica.digest b.ns)));
+  check Alcotest.(option string) "partition-era update arrived" (Some "2")
+    (Ns.lookup b.ns (p "/h/during"));
+  teardown a;
+  teardown b
+
+let test_resumable_repair_under_resets () =
+  (* Full-state repair over a connection that keeps resetting: the
+     chunked transfer resumes (idempotent chunk fetches over a
+     reconnect factory) and the rebuilt store is digest-identical. *)
+  let a = make_cell "a" 66 in
+  for i = 1 to 60 do
+    Ns.set_value a.ns
+      (p (Printf.sprintf "/blob/k%02d" i))
+      (Some (String.make 200 (Char.chr (Char.code 'a' + (i mod 26)))))
+  done;
+  let ctl = Fault_net.create ~seed:11 () in
+  let fresh () =
+    let client_t, server_t = Rpc.Inproc.pair () in
+    let thread = Thread.create (fun () -> Proto.serve a.ns server_t) () in
+    a.server_threads <- thread :: a.server_threads;
+    a.server_transports <- server_t :: a.server_transports;
+    Fault_net.wrap ctl client_t
+  in
+  let client =
+    Proto.Client.create ~deadline_s:2.0 ~retry:Rpc.default_retry
+      ~reconnect:fresh (fresh ())
+  in
+  (* Every ~8th operation resets the connection mid-transfer. *)
+  Fault_net.set_fault_rate ctl ~op:`Send 0.12;
+  let store = Mem.create_store ~seed:67 () in
+  (match Replica.repair_from_peer ~chunk_bytes:512 client (Mem.fs store) with
+  | Error e -> Alcotest.fail ("repair under resets failed: " ^ e)
+  | Ok ns2 ->
+    check Alcotest.string "rebuilt store digest-identical"
+      (Replica.digest a.ns) (Ns.digest ns2);
+    Ns.close ns2);
+  check Alcotest.bool "resets were actually injected" true
+    (Fault_net.injected ctl > 0);
+  Fault_net.clear ctl;
+  (try Proto.Client.close client with Rpc.Rpc_error _ -> ());
+  teardown a
+
 let () =
   Helpers.run "replica"
     [
@@ -400,6 +594,17 @@ let () =
           Alcotest.test_case "snapshot fallback" `Quick
             test_anti_entropy_snapshot_fallback;
           Alcotest.test_case "converged_with" `Quick test_converged_with;
+          Alcotest.test_case "anti-entropy races concurrent commits" `Quick
+            test_anti_entropy_races_commits;
+          Alcotest.test_case "flapping peer applies exactly once" `Quick
+            test_flapping_peer_applies_exactly_once;
+        ] );
+      ( "self-healing",
+        [
+          Alcotest.test_case "heartbeat detects partition and self-heals" `Quick
+            test_heartbeat_detects_and_self_heals;
+          Alcotest.test_case "resumable repair under connection resets" `Quick
+            test_resumable_repair_under_resets;
         ] );
       ( "hard-errors",
         [

@@ -63,6 +63,19 @@ let test_replica_outbox () =
     (assert_passed "replica_outbox(3,2)"
        (Sched.explore (Scen.replica_outbox ~pushes:3 ~capacity:2)))
 
+let test_failure_detector () =
+  (* Mixed outcomes around aging ticks: the revive/demote rules must
+     hold in every interleaving of probe completion vs. ticker. *)
+  ignore
+    (assert_passed "failure_detector(ok,fail)"
+       (Sched.explore (Scen.failure_detector ~probes:[ true; false ])));
+  ignore
+    (assert_passed "failure_detector(fail,ok)"
+       (Sched.explore (Scen.failure_detector ~probes:[ false; true ])));
+  ignore
+    (assert_passed "failure_detector(fail,fail)"
+       (Sched.explore (Scen.failure_detector ~probes:[ false; false ])))
+
 (* --- detector of the detector ------------------------------------- *)
 
 let test_broken_writer_caught () =
@@ -119,6 +132,8 @@ let () =
           Alcotest.test_case "group commit: seal/flush/wake" `Quick
             test_group_commit;
           Alcotest.test_case "replica outbox hand-off" `Quick test_replica_outbox;
+          Alcotest.test_case "failure detector: revive only by heartbeat" `Quick
+            test_failure_detector;
         ] );
       ( "harness",
         [
