@@ -51,7 +51,7 @@ let build_ns ?config ~entries ~seed () =
 
 let random_path rng entries = entry_path (Rng.int rng entries)
 
-let db_weight ns = Ns.Db.query (Ns.db ns) Data.weight_bytes
+let db_weight ns = Ns.Db.query (Ns.db ns) Data.pweight_bytes
 
 (* ------------------------------------------------------------------ *)
 (* KV store population (baselines)                                     *)
@@ -61,6 +61,24 @@ let kv_value rng = Rng.string rng ~len:100
 
 (* ------------------------------------------------------------------ *)
 (* Output helpers                                                      *)
+
+(* Machine-readable artifacts: every experiment that writes JSON goes
+   through this one writer — rows are pre-rendered objects, the array
+   framing (brackets, commas, trailing newline) lives here, so the
+   per-experiment emitters cannot drift apart. *)
+let write_json_rows file rows =
+  let oc = open_out file in
+  output_string oc "[\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i row ->
+      output_string oc "  ";
+      output_string oc row;
+      if i < n - 1 then output_string oc ",";
+      output_string oc "\n")
+    rows;
+  output_string oc "]\n";
+  close_out oc
 
 let section id title =
   Printf.printf "\n=== %s: %s ===\n" (String.uppercase_ascii id) title

@@ -2,6 +2,7 @@ module Pickle = Sdb_pickle.Pickle
 module Fs = Sdb_storage.Fs
 module Wal = Sdb_wal.Wal
 module Vlock = Sdb_vlock.Vlock
+module Epoch = Sdb_epoch.Epoch
 module Store = Sdb_checkpoint.Checkpoint_store
 module Metrics = Sdb_obs.Metrics
 module Trace = Sdb_obs.Trace
@@ -119,6 +120,7 @@ type config = {
   group_commit : bool;
   max_group_delay : float;
   max_group_bytes : int;
+  read_path : [ `Locked | `Epoch ];
 }
 
 let default_config =
@@ -131,6 +133,7 @@ let default_config =
     group_commit = false;
     max_group_delay = 0.002;
     max_group_bytes = 1 lsl 20;
+    read_path = `Locked;
   }
 
 type phase_times = {
@@ -244,6 +247,11 @@ module Make (App : APP) = struct
     gc_committing : bool Sdb_check.Guarded.t;
     (* reusable pickle scratch; guarded by the Update lock *)
     pickle_buf : Buffer.t;
+    (* The lock-free read path (config.read_path = `Epoch): the state
+       root is also published through an epoch-protected snapshot
+       pointer, swung at the end of every Exclusive window.  Requires
+       App.state to be persistent (see the mli). *)
+    epoch : App.state Epoch.t option;
     mutable state : App.state;
     mutable wal : Wal.Writer.t;
     mutable generation : int;
@@ -284,6 +292,15 @@ module Make (App : APP) = struct
     if t.closed then raise Closed;
     if t.poisoned then raise Poisoned
 
+  (* Swing the published snapshot to the state just applied.  Must run
+     inside the Exclusive window (single writer, before release): the
+     pointer swing is then ordered with the commit, so a reader never
+     observes version N+1 before version N. *)
+  let publish_epoch t =
+    match t.epoch with
+    | None -> ()
+    | Some e -> Epoch.publish e ~lsn:t.lsn t.state
+
   let health t : health =
     if t.poisoned then `Poisoned
     else match t.degraded_reason with
@@ -314,6 +331,10 @@ module Make (App : APP) = struct
       gc_committing =
         Sdb_check.Guarded.create ~by:gc_mutex ~name:"gc_committing" false;
       pickle_buf = Buffer.create 256;
+      epoch =
+        (match config.read_path with
+        | `Locked -> None
+        | `Epoch -> Some (Epoch.create ~name:App.name ~lsn state));
       state;
       wal;
       generation;
@@ -904,6 +925,7 @@ module Make (App : APP) = struct
       t.since_ckpt <- t.since_ckpt + n_total;
       Metrics.add m_updates n_total;
       Metrics.observe m_group_size (float_of_int n_total);
+      publish_epoch t;
       release ();
       wake_group t members (fun m -> M_committed (List.assq m assigned));
       assigned
@@ -1040,17 +1062,27 @@ module Make (App : APP) = struct
 
   let query t f =
     check_usable t;
-    Vlock.with_lock t.lock Vlock.Shared (fun () ->
-        Sdb_check.assert_mode (Vlock.sanitizer t.lock) Sdb_check.Shared
-          ~site:"query";
-        f t.state)
+    match t.epoch with
+    | Some e -> Epoch.read e f
+    | None ->
+      Vlock.with_lock t.lock Vlock.Shared (fun () ->
+          Sdb_check.assert_mode (Vlock.sanitizer t.lock) Sdb_check.Shared
+            ~site:"query";
+          f t.state)
 
   let query_with_lsn t f =
     check_usable t;
-    Vlock.with_lock t.lock Vlock.Shared (fun () ->
-        Sdb_check.assert_mode (Vlock.sanitizer t.lock) Sdb_check.Shared
-          ~site:"query_with_lsn";
-        (f t.state, t.lsn))
+    match t.epoch with
+    | Some e ->
+      (* Payload and LSN come from the same published version — the
+         atomicity the locked route gets from holding Shared across
+         both reads. *)
+      Epoch.read_with_lsn e f
+    | None ->
+      Vlock.with_lock t.lock Vlock.Shared (fun () ->
+          Sdb_check.assert_mode (Vlock.sanitizer t.lock) Sdb_check.Shared
+            ~site:"query_with_lsn";
+          (f t.state, t.lsn))
 
   (* The paper's three steps under the paper's locks:
      update lock for verify + log write (enquiries keep running),
@@ -1167,6 +1199,7 @@ module Make (App : APP) = struct
             t.since_ckpt <- t.since_ckpt + 1;
             Metrics.incr m_updates;
             let lsn = t.lsn - 1 in
+            publish_epoch t;
             release Vlock.Exclusive;
             (* A raising subscriber propagates to the updater with no
                lock held; the update is already durable and applied. *)
@@ -1264,6 +1297,7 @@ module Make (App : APP) = struct
           t.lsn <- t.lsn + n;
           t.committed <- t.committed + n;
           t.since_ckpt <- t.since_ckpt + n;
+          publish_epoch t;
           held := None;
           Vlock.release t.lock Vlock.Exclusive;
           List.iteri (fun i u -> notify t (base + i) u) updates);

@@ -74,13 +74,28 @@ type config = {
   max_group_bytes : int;
       (** a group that has gathered this many framed log bytes commits
           without lingering further *)
+  read_path : [ `Locked | `Epoch ];
+      (** [`Locked] (the default): every enquiry holds the Vlock in
+          Shared mode — the paper's protocol, and the baseline.
+          [`Epoch]: enquiries run lock-free against an epoch-published
+          snapshot ([Sdb_epoch]): the writer swings an atomic version
+          pointer inside its Exclusive window, a reader enters an
+          epoch, loads the pointer, and queries that immutable version
+          with no lock traffic at all; retired versions are reclaimed
+          once every reader has moved past them.  {b Requires
+          [App.state] to be persistent} (path-copied, like
+          [Ns_data.pnode] or a [Map]) — a mutable state would be
+          shared, bare, with readers in other domains.  WAL,
+          group commit, checkpointing and replication are unchanged;
+          the fsync remains the commit point, and a version is
+          published only after it commits. *)
 }
 
 val default_config : config
 (** [retain_previous = false], [Manual], [`Stop_at_damage],
     [hard_error_fallback = true], [archive_logs = false],
     [group_commit = false], [max_group_delay = 0.002],
-    [max_group_bytes = 1 MiB]. *)
+    [max_group_bytes = 1 MiB], [read_path = `Locked]. *)
 
 (** Cumulative per-phase timings (seconds) backing the E2/E3/E4 cost
     breakdowns; maintained with two clock reads per phase. *)

@@ -1,0 +1,107 @@
+module Metrics = Sdb_obs.Metrics
+
+(* The production atoms.  [make] pads: consecutive allocations land
+   adjacently on the minor heap, so without separation two slots share
+   a cache line and reader enter/exit traffic false-shares.  OCaml 5.1
+   has no [Atomic.make_contended], so we allocate a 15-word spacer
+   after each cell — best effort (compaction may repack), and enough to
+   keep freshly-allocated slot arrays a cache line apart. *)
+module Atom = struct
+  type 'a t = 'a Atomic.t
+
+  let make v =
+    let a = Atomic.make v in
+    ignore (Sys.opaque_identity (Array.make 15 0));
+    a
+
+  let get = Atomic.get
+  let exchange = Atomic.exchange
+  let compare_and_set = Atomic.compare_and_set
+  let fetch_and_add = Atomic.fetch_and_add
+end
+
+module Core = Epoch_core.Make (Atom)
+
+type 'a t = { core : 'a Core.t; name : string; mask : int }
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+(* Pull-style metrics, like the sanitizer bridge in lib/core: the epoch
+   layer keeps its own tallies (plain reads, no registry traffic on the
+   read path) and a collector copies them out when someone renders. *)
+let register_metrics t =
+  let labels = [ ("db", t.name) ] in
+  let m_readers =
+    Metrics.gauge "sdb_epoch_readers" ~labels
+      ~help:"Readers currently inside an epoch."
+  and m_retired =
+    Metrics.gauge "sdb_epoch_retired_versions" ~labels
+      ~help:"Versions retired but not yet reclaimed."
+  and m_lag =
+    Metrics.gauge "sdb_epoch_reclaim_lag" ~labels
+      ~help:
+        "Epochs between the oldest unreclaimed version and the current \
+         epoch (0 = nothing awaiting reclamation)."
+  and m_advance =
+    Metrics.counter "sdb_epoch_advance_total" ~labels
+      ~help:"Global epoch advances (one per published version)."
+  and m_reclaimed =
+    Metrics.counter "sdb_epoch_reclaimed_total" ~labels
+      ~help:"Retired versions reclaimed."
+  in
+  let pushed_advance = ref 0 and pushed_reclaimed = ref 0 in
+  Metrics.register_collector ~name:("sdb_epoch:" ^ t.name) (fun () ->
+      Metrics.set_gauge m_readers (float_of_int (Core.active_readers t.core));
+      Metrics.set_gauge m_retired (float_of_int (Core.retired_count t.core));
+      Metrics.set_gauge m_lag (float_of_int (Core.reclaim_lag t.core));
+      let adv = Core.advance_total t.core in
+      Metrics.add m_advance (max 0 (adv - !pushed_advance));
+      pushed_advance := max !pushed_advance adv;
+      let rec_ = Core.reclaimed_total t.core in
+      Metrics.add m_reclaimed (max 0 (rec_ - !pushed_reclaimed));
+      pushed_reclaimed := max !pushed_reclaimed rec_)
+
+let create ?(slots = 64) ~name ~lsn payload =
+  let slots = next_pow2 (max 1 slots) in
+  let t = { core = Core.create ~slots ~lsn payload; name; mask = slots - 1 } in
+  register_metrics t;
+  t
+
+(* Enter, pin the published version, run [f v], exit — on every exit
+   path.  The slot is the domain id masked to the slot count: readers
+   in distinct domains use distinct slots (no contention below [slots]
+   domains); systhreads of one domain share its slot through the
+   counted registration. *)
+let pinned t f =
+  let slot = (Domain.self () :> int) land t.mask in
+  Sdb_check.note_epoch_enter ~name:t.name;
+  Core.enter t.core ~slot;
+  Fun.protect
+    ~finally:(fun () ->
+      Core.exit_ t.core ~slot;
+      Sdb_check.note_epoch_exit ~name:t.name)
+    (fun () ->
+      let v = Core.load t.core in
+      let r = f v in
+      (* The use-after-reclaim detector: if the version we just read is
+         marked reclaimed while we were still inside the epoch, the
+         reclamation rule was violated (only possible through the
+         deliberately-broken [unsafe_reclaim_all] — or a protocol bug,
+         which is exactly what this check is for). *)
+      if Sdb_check.enabled () && v.Core.reclaimed then
+        Sdb_check.epoch_violation ~name:t.name
+          ~message:"version reclaimed while a reader was still inside its epoch";
+      r)
+
+let read t f = pinned t (fun v -> f v.Core.payload)
+let read_with_lsn t f = pinned t (fun v -> (f v.Core.payload, v.Core.vlsn))
+let publish t ~lsn payload = Core.publish t.core ~lsn payload
+let reclaim t = Core.reclaim t.core
+let unsafe_reclaim_all t = Core.unsafe_reclaim_all t.core
+let active_readers t = Core.active_readers t.core
+let retired_versions t = Core.retired_count t.core
+let reclaimed_total t = Core.reclaimed_total t.core
+let advance_total t = Core.advance_total t.core
+let reclaim_lag t = Core.reclaim_lag t.core

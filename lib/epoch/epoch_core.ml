@@ -1,0 +1,165 @@
+module type ATOM = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val exchange : 'a t -> 'a -> 'a
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  val fetch_and_add : int t -> int -> int
+end
+
+module type S = sig
+  type 'a cell
+
+  type 'a version = {
+    payload : 'a;
+    vlsn : int;
+    mutable retired_at : int;
+    mutable reclaimed : bool;
+  }
+
+  type 'a t
+
+  val create : slots:int -> lsn:int -> 'a -> 'a t
+  val enter : 'a t -> slot:int -> unit
+  val exit_ : 'a t -> slot:int -> unit
+  val load : 'a t -> 'a version
+  val publish : 'a t -> lsn:int -> 'a -> unit
+  val reclaim : 'a t -> int
+  val unsafe_reclaim_all : 'a t -> int
+  val current_epoch : 'a t -> int
+  val active_readers : 'a t -> int
+  val retired_count : 'a t -> int
+  val reclaimed_total : 'a t -> int
+  val advance_total : 'a t -> int
+  val reclaim_lag : 'a t -> int
+end
+
+module Make (A : ATOM) = struct
+  type 'a cell = 'a A.t
+
+  type 'a version = {
+    payload : 'a;
+    vlsn : int;
+    mutable retired_at : int;
+    mutable reclaimed : bool;
+  }
+
+  (* A slot packs (epoch, reader count) in one int so registration is a
+     single compare-and-set: epoch in the high bits, count in the low
+     16.  Zero means empty — the epoch field starts at 1 so a genuine
+     registration can never encode as 0. *)
+  let count_bits = 16
+  let count_mask = (1 lsl count_bits) - 1
+  let pack ~epoch ~count = (epoch lsl count_bits) lor count
+  let slot_epoch s = s lsr count_bits
+  let slot_count s = s land count_mask
+
+  type 'a t = {
+    current : 'a version A.t;
+    global : int A.t;
+    slots : int A.t array;
+    (* Retired but not yet reclaimed versions, newest first.  Written
+       only by the single writer (publish/reclaim run inside the
+       engine's Exclusive window), so no lock is needed. *)
+    mutable retired : 'a version list;
+    mutable reclaimed_count : int;
+  }
+
+  let create ~slots ~lsn payload =
+    if slots <= 0 then invalid_arg "Epoch_core.create: slots must be positive";
+    {
+      current =
+        A.make { payload; vlsn = lsn; retired_at = -1; reclaimed = false };
+      global = A.make 1;
+      slots = Array.init slots (fun _ -> A.make 0);
+      retired = [];
+      reclaimed_count = 0;
+    }
+
+  (* Claim the slot at the current global epoch, or piggyback on an
+     existing registration.  The piggyback keeps the slot's (possibly
+     older) epoch: a too-old registration only delays reclamation.  The
+     ordering that makes reclamation safe: the global epoch is read
+     BEFORE the slot claim lands, and the pointer is loaded after — so
+     if this reader obtains a version v, the pointer load preceded the
+     writer's exchange retiring v, which preceded the epoch advance
+     producing v's retiring epoch e; hence the slot's epoch <= e and
+     the slot is still registered, which blocks v's reclamation. *)
+  let rec enter t ~slot =
+    let s = t.slots.(slot) in
+    let cur = A.get s in
+    if cur = 0 then begin
+      let g = A.get t.global in
+      if not (A.compare_and_set s 0 (pack ~epoch:g ~count:1)) then
+        enter t ~slot
+    end
+    else if slot_count cur = count_mask then
+      invalid_arg "Epoch_core.enter: slot reader count overflow"
+    else if not (A.compare_and_set s cur (cur + 1)) then enter t ~slot
+
+  let rec exit_ t ~slot =
+    let s = t.slots.(slot) in
+    let cur = A.get s in
+    if slot_count cur = 0 then
+      invalid_arg "Epoch_core.exit_: exit without matching enter";
+    let next = if slot_count cur = 1 then 0 else cur - 1 in
+    if not (A.compare_and_set s cur next) then exit_ t ~slot
+
+  let load t = A.get t.current
+
+  (* The oldest epoch any registered slot carries; max_int when every
+     slot is empty.  A retired version is reclaimable exactly when its
+     retiring epoch is strictly below this floor. *)
+  let registered_floor t =
+    Array.fold_left
+      (fun acc s ->
+        let v = A.get s in
+        if v = 0 then acc else min acc (slot_epoch v))
+      max_int t.slots
+
+  let free t drop =
+    List.iter (fun v -> v.reclaimed <- true) drop;
+    t.reclaimed_count <- t.reclaimed_count + List.length drop;
+    List.length drop
+
+  let reclaim t =
+    let floor = registered_floor t in
+    let keep, drop =
+      List.partition (fun v -> v.retired_at >= floor) t.retired
+    in
+    t.retired <- keep;
+    free t drop
+
+  let unsafe_reclaim_all t =
+    let drop = t.retired in
+    t.retired <- [];
+    free t drop
+
+  let publish t ~lsn payload =
+    let nv = { payload; vlsn = lsn; retired_at = -1; reclaimed = false } in
+    let old = A.exchange t.current nv in
+    (* Advance AFTER the exchange: any reader registered at or before
+       the retiring epoch may still load [old]; readers registering
+       after the advance can only load [nv] or newer. *)
+    let e = A.fetch_and_add t.global 1 in
+    old.retired_at <- e;
+    t.retired <- old :: t.retired;
+    ignore (reclaim t : int)
+
+  let current_epoch t = A.get t.global
+
+  let active_readers t =
+    Array.fold_left (fun acc s -> acc + slot_count (A.get s)) 0 t.slots
+
+  let retired_count t = List.length t.retired
+  let reclaimed_total t = t.reclaimed_count
+  let advance_total t = A.get t.global - 1
+
+  let reclaim_lag t =
+    match t.retired with
+    | [] -> 0
+    | l ->
+      let oldest = List.fold_left (fun acc v -> min acc v.retired_at) max_int l in
+      A.get t.global - oldest
+end

@@ -1,0 +1,103 @@
+(** The epoch-based snapshot publication protocol, functored over its
+    atomic primitives.
+
+    The store root is published through one atomic version pointer.  A
+    reader {e enters} an epoch by registering in a slot (one
+    compare-and-set), loads the pointer, runs against that immutable
+    version, and {e exits} (one compare-and-set).  The single writer
+    installs the next version with an exchange, advances the global
+    epoch, and retires the displaced version; a retired version is
+    reclaimed only once every registered slot carries an epoch strictly
+    newer than the retiring one — so no reader that could still hold it
+    is left behind.
+
+    The functor exists for the same reason {!Sdb_vlock.Vlock_core.Make}
+    does: instantiated over [Stdlib.Atomic] it is the engine's read
+    path; instantiated over the schedule explorer's virtual atomics it
+    is the exact protocol the explorer exhausts. *)
+
+module type ATOM = sig
+  (** What the protocol needs from an atomic cell.  [Stdlib.Atomic]
+      satisfies it directly; the virtual instantiation wraps plain refs
+      with a scheduling point before each operation. *)
+
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val exchange : 'a t -> 'a -> 'a
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  val fetch_and_add : int t -> int -> int
+end
+
+module type S = sig
+  type 'a cell
+
+  type 'a version = {
+    payload : 'a;
+    vlsn : int;  (** the LSN this version reflects *)
+    mutable retired_at : int;
+        (** the epoch current when this version was displaced; [-1]
+            while it is still the published version *)
+    mutable reclaimed : bool;
+        (** set when reclamation frees the version — after this, any
+            reader still dereferencing it is a protocol violation (the
+            sanitizer's use-after-reclaim detector reads this flag) *)
+  }
+
+  type 'a t
+
+  val create : slots:int -> lsn:int -> 'a -> 'a t
+  (** A store with [slots] reader slots (a power of two) publishing the
+      given initial version. *)
+
+  val enter : 'a t -> slot:int -> unit
+  (** Register the calling reader in [slot] at the current global
+      epoch.  Multiple readers may share a slot (systhreads of one
+      domain): the registration carries a count, and late joiners
+      piggyback on the slot's existing — possibly older — epoch, which
+      only delays reclamation, never permits it early. *)
+
+  val exit_ : 'a t -> slot:int -> unit
+  (** Deregister; the slot empties when its count reaches zero. *)
+
+  val load : 'a t -> 'a version
+  (** The published version.  Only stable between {!enter} and
+      {!exit_} on the same slot. *)
+
+  val publish : 'a t -> lsn:int -> 'a -> unit
+  (** Single writer only (the engine calls it inside the Exclusive
+      window): install the next version, advance the epoch, retire the
+      displaced version, and reclaim whatever has become safe. *)
+
+  val reclaim : 'a t -> int
+  (** Free every retired version whose retiring epoch is older than
+      every registered slot's epoch; returns how many were freed.
+      Single writer only (runs inside {!publish} already). *)
+
+  val unsafe_reclaim_all : 'a t -> int
+  (** Reclaim every retired version {e ignoring} the reader slots — the
+      deliberately-broken variant that keeps the use-after-reclaim
+      detectors (sanitizer and schedule explorer) honest. *)
+
+  (** {1 Inspection} (racy snapshots, for metrics and invariants) *)
+
+  val current_epoch : 'a t -> int
+
+  val active_readers : 'a t -> int
+  (** Sum of slot counts. *)
+
+  val retired_count : 'a t -> int
+  (** Retired but not yet reclaimed. *)
+
+  val reclaimed_total : 'a t -> int
+
+  val advance_total : 'a t -> int
+  (** Epoch advances since {!create}. *)
+
+  val reclaim_lag : 'a t -> int
+  (** Epochs between the oldest unreclaimed retired version and the
+      current epoch; 0 when nothing is awaiting reclamation. *)
+end
+
+module Make (A : ATOM) : S with type 'a cell = 'a A.t

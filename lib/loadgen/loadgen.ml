@@ -57,6 +57,11 @@ let default =
     seed = 1;
   }
 
+(* The paper's observed traffic shape: "the rate of updates is very
+   low" — enquiries dominate.  This is the mix that exercises a read
+   path (lock-free or Shared-lock) rather than the commit pipeline. *)
+let read_mostly = { default with read_fraction = 0.99 }
+
 let validate cfg =
   if cfg.rate <= 0.0 then invalid_arg "Loadgen: rate must be positive";
   if cfg.duration_s <= 0.0 then invalid_arg "Loadgen: duration_s must be positive";

@@ -48,6 +48,12 @@ val default : config
 (** 1000 ops/s for 1 s over 4 threads, 1000 keys at theta 0.9, 50/50
     mix, 64-byte values, Poisson arrivals, seed 1. *)
 
+val read_mostly : config
+(** {!default} with a 99/1 read/write mix — the enquiry-dominated
+    traffic the paper reports for its name server, and the preset that
+    drives a read path (epoch or Shared-lock) rather than the commit
+    pipeline. *)
+
 type result = {
   offered : int;         (** intended arrivals (all were issued) *)
   completed : int;

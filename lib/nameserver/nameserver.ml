@@ -27,22 +27,27 @@ let codec_update =
         (fun p -> Create p);
     ]
 
+(* The state is the persistent tree: [apply] path-copies, building the
+   next version in O(depth · log fanout) and sharing everything it did
+   not touch with the previous one.  That is what lets the engine
+   publish versions to the lock-free read path (config.read_path =
+   `Epoch) — and it makes checkpoint_concurrent's immutability
+   requirement hold by construction. *)
 module App = struct
-  type state = Ns_data.node
+  type state = Ns_data.pnode
   type nonrec update = update
 
   let name = "nameserver"
-  let codec_state = Ns_data.codec_node
+  let codec_state = Ns_data.codec_pnode
   let codec_update = codec_update
-  let init () = Ns_data.empty_node ()
+  let init () = Ns_data.empty_pnode
 
   let apply state u =
-    (match u with
-    | Set_value (p, v) -> Ns_data.set_value state p v
-    | Write_subtree (p, t) -> Ns_data.graft state p t
-    | Delete_subtree p -> Ns_data.delete_subtree state p
-    | Create p -> ignore (Ns_data.ensure state p));
-    state
+    match u with
+    | Set_value (p, v) -> Ns_data.pset_value state p v
+    | Write_subtree (p, t) -> Ns_data.pgraft state p t
+    | Delete_subtree p -> Ns_data.pdelete_subtree state p
+    | Create p -> Ns_data.pensure state p
 end
 
 module Db = Smalldb.Make (App)
@@ -57,45 +62,42 @@ let db t = t
 
 let lookup t path =
   Db.query t (fun root ->
-      match Ns_data.find root path with Some n -> n.Ns_data.value | None -> None)
+      match Ns_data.pfind root path with
+      | Some n -> n.Ns_data.pvalue
+      | None -> None)
 
-let exists t path = Db.query t (fun root -> Ns_data.mem root path)
+let exists t path = Db.query t (fun root -> Ns_data.pmem root path)
 
 let list_children t path =
   Db.query t (fun root ->
-      match Ns_data.find root path with
-      | None -> None
-      | Some n ->
-        Some
-          (Hashtbl.fold (fun label _ acc -> label :: acc) n.Ns_data.children []
-          |> List.sort String.compare))
+      Option.map Ns_data.pchildren_labels (Ns_data.pfind root path))
 
 let export ?depth t path =
   Db.query t (fun root ->
-      match Ns_data.find root path with
+      match Ns_data.pfind root path with
       | None -> None
-      | Some n -> Some (Ns_data.snapshot ?depth n))
+      | Some n -> Some (Ns_data.psnapshot ?depth n))
 
-let count_nodes t = Db.query t Ns_data.count_nodes
+let count_nodes t = Db.query t Ns_data.pcount_nodes
 
 let enumerate t prefix =
   Db.query t (fun root ->
-      match Ns_data.find root prefix with
+      match Ns_data.pfind root prefix with
       | None -> []
       | Some node ->
-        Ns_data.fold_bindings node ~init:[] ~f:(fun acc rel value ->
+        Ns_data.pfold_bindings node ~init:[] ~f:(fun acc rel value ->
             (prefix @ rel, value) :: acc)
         |> List.rev)
 
 let find t glob =
   Db.query t (fun root ->
-      Ns_data.fold_bindings root
+      Ns_data.pfold_bindings root
         ~prune:(fun path -> Name_glob.prefix_viable glob path)
         ~init:[]
         ~f:(fun acc path value ->
           if Name_glob.matches glob path then (path, value) :: acc else acc)
       |> List.rev)
-let snapshot_with_lsn t = Db.query_with_lsn t (fun root -> Ns_data.snapshot root)
+let snapshot_with_lsn t = Db.query_with_lsn t (fun root -> Ns_data.psnapshot root)
 let updates_since t from = Db.log_suffix t ~from
 
 (* Updates *)
@@ -110,14 +112,14 @@ let set_value_checked t path v =
     match Name_path.parent path with
     | None -> Ok () (* the root always exists *)
     | Some parent ->
-      if Ns_data.mem root parent then Ok ()
+      if Ns_data.pmem root parent then Ok ()
       else Error (Printf.sprintf "parent %s is not bound" (Name_path.to_string parent))
   in
   Db.update_checked t ~precondition (Set_value (path, v))
 
 let delete_subtree_checked t path =
   let precondition root =
-    if Ns_data.mem root path then Ok ()
+    if Ns_data.pmem root path then Ok ()
     else Error (Printf.sprintf "%s is not bound" (Name_path.to_string path))
   in
   Db.update_checked t ~precondition (Delete_subtree path)
@@ -125,7 +127,9 @@ let delete_subtree_checked t path =
 let compare_and_set t path ~expected v =
   let precondition root =
     let current =
-      match Ns_data.find root path with Some n -> n.Ns_data.value | None -> None
+      match Ns_data.pfind root path with
+      | Some n -> n.Ns_data.pvalue
+      | None -> None
     in
     if Option.equal String.equal current expected then Ok ()
     else
@@ -152,7 +156,7 @@ let ping t = (stats t).Smalldb.lsn
    sorted children, so equal trees give equal strings — which the raw
    node pickle (hash tables, insertion-ordered) does not. *)
 let state_digest root =
-  Digest.string (P.encode Ns_data.codec_tree (Ns_data.snapshot root))
+  Digest.string (P.encode Ns_data.codec_tree (Ns_data.psnapshot root))
 
 let digest t = Db.query t state_digest
 let scrub ?repair t = Db.scrub ?repair ~digest:state_digest t

@@ -24,7 +24,12 @@ type update =
 val codec_update : update Sdb_pickle.Pickle.t
 
 module App :
-  Smalldb.APP with type state = Ns_data.node and type update = update
+  Smalldb.APP with type state = Ns_data.pnode and type update = update
+(** The state is the {e persistent} tree ({!Ns_data.pnode}): [apply]
+    path-copies, so each committed version is immutable and shares all
+    untouched subtrees with its predecessor — the property the
+    lock-free read path ([read_path = `Epoch]) and concurrent
+    checkpoints require. *)
 
 module Db : module type of Smalldb.Make (App)
 

@@ -137,6 +137,133 @@ let rec equal_tree (Tree a) (Tree b) =
 
 let equal_node a b = equal_tree (snapshot a) (snapshot b)
 
+(* ------------------------------------------------------------------ *)
+(* Persistent representation                                           *)
+
+module Smap = Map.Make (String)
+
+type pnode = { pvalue : string option; pchildren : pnode Smap.t }
+
+let empty_pnode = { pvalue = None; pchildren = Smap.empty }
+
+let rec pfind n = function
+  | [] -> Some n
+  | c :: rest -> (
+    match Smap.find_opt c n.pchildren with
+    | None -> None
+    | Some child -> pfind child rest)
+
+let pmem n path = pfind n path <> None
+
+let rec pensure n = function
+  | [] -> n
+  | c :: rest ->
+    let child =
+      Option.value (Smap.find_opt c n.pchildren) ~default:empty_pnode
+    in
+    { n with pchildren = Smap.add c (pensure child rest) n.pchildren }
+
+let rec pset_value n path v =
+  match path with
+  | [] -> { n with pvalue = v }
+  | c :: rest ->
+    let child =
+      Option.value (Smap.find_opt c n.pchildren) ~default:empty_pnode
+    in
+    { n with pchildren = Smap.add c (pset_value child rest v) n.pchildren }
+
+(* Like the mutable [delete_subtree]: no intermediate creation — an
+   absent path is a no-op, deleting the root empties it. *)
+let pdelete_subtree n path =
+  match path with
+  | [] -> empty_pnode
+  | _ ->
+    let rec go n = function
+      | [] -> assert false (* non-empty by the match above *)
+      | [ base ] -> { n with pchildren = Smap.remove base n.pchildren }
+      | c :: rest -> (
+        match Smap.find_opt c n.pchildren with
+        | None -> n
+        | Some child ->
+          { n with pchildren = Smap.add c (go child rest) n.pchildren })
+    in
+    go n path
+
+let rec pof_tree (Tree t) =
+  {
+    pvalue = t.tvalue;
+    pchildren =
+      List.fold_left
+        (fun m (label, sub) -> Smap.add label (pof_tree sub) m)
+        Smap.empty t.tchildren;
+  }
+
+let pgraft n path tr =
+  match path with
+  | [] -> pof_tree tr
+  | _ ->
+    let rec go n = function
+      | [] -> assert false
+      | [ base ] -> { n with pchildren = Smap.add base (pof_tree tr) n.pchildren }
+      | c :: rest ->
+        let child =
+          Option.value (Smap.find_opt c n.pchildren) ~default:empty_pnode
+        in
+        { n with pchildren = Smap.add c (go child rest) n.pchildren }
+    in
+    go n path
+
+let rec psnapshot ?depth n =
+  let descend =
+    match depth with
+    | None -> Some None
+    | Some 0 -> None
+    | Some d -> Some (Some (d - 1))
+  in
+  let children =
+    match descend with
+    | None -> []
+    | Some depth ->
+      (* Map bindings come out sorted, which is the tree invariant. *)
+      Smap.fold
+        (fun label child acc ->
+          ( label,
+            match depth with
+            | None -> psnapshot child
+            | Some d -> psnapshot ~depth:d child )
+          :: acc)
+        n.pchildren []
+      |> List.rev
+  in
+  Tree { tvalue = n.pvalue; tchildren = children }
+
+(* The pickle goes through the sorted exchange tree, so equal stores
+   give equal checkpoint bytes — canonical by construction, where the
+   raw hashtbl pickle of [codec_node] is insertion-ordered. *)
+let codec_pnode =
+  P.conv ~name:"ns.pnode" (fun n -> psnapshot n) pof_tree codec_tree
+
+let pchildren_labels n = Smap.fold (fun l _ acc -> l :: acc) n.pchildren [] |> List.rev
+
+let pfold_bindings ?(prune = fun _ -> true) n ~init ~f =
+  let rec go prefix n acc =
+    Smap.fold
+      (fun label child acc ->
+        let path = prefix @ [ label ] in
+        if prune path then go path child (f acc path child.pvalue) else acc)
+      n.pchildren acc
+  in
+  go [] n init
+
+let rec pcount_nodes n =
+  Smap.fold (fun _ child acc -> acc + pcount_nodes child) n.pchildren 1
+
+let rec pweight_bytes n =
+  let own = match n.pvalue with None -> 0 | Some v -> String.length v in
+  Smap.fold
+    (fun label child acc -> acc + String.length label + pweight_bytes child)
+    n.pchildren own
+
 let rec pp_tree ppf (Tree t) =
   Format.fprintf ppf "@[<hv 2>{";
   (match t.tvalue with

@@ -64,6 +64,51 @@ val count_nodes : node -> int
 val weight_bytes : node -> int
 (** Rough memory footprint: labels + values, for benchmark sizing. *)
 
+(** {1 Persistent representation}
+
+    The path-copied form the engine's state actually uses: an update
+    builds the next version by copying only the path it touches
+    (O(depth · log fanout)), sharing every untouched subtree with the
+    previous version.  That makes versions immutable — the property
+    the epoch-published read path ([Sdb_epoch]) and concurrent
+    checkpoints rely on: a published root can be read from any domain
+    with no lock while the writer builds its successor. *)
+
+module Smap : Map.S with type key = string
+
+type pnode = { pvalue : string option; pchildren : pnode Smap.t }
+
+val empty_pnode : pnode
+val codec_pnode : pnode Sdb_pickle.Pickle.t
+(** Pickles through the sorted exchange {!tree}, so equal stores give
+    equal bytes (canonical, unlike the insertion-ordered
+    {!codec_node}). *)
+
+val pfind : pnode -> Name_path.t -> pnode option
+val pmem : pnode -> Name_path.t -> bool
+
+val pensure : pnode -> Name_path.t -> pnode
+(** The root with the path present (valueless intermediates created). *)
+
+val pset_value : pnode -> Name_path.t -> string option -> pnode
+val pdelete_subtree : pnode -> Name_path.t -> pnode
+(** Deleting the root empties it; an absent path is a no-op. *)
+
+val pgraft : pnode -> Name_path.t -> tree -> pnode
+val pof_tree : tree -> pnode
+val psnapshot : ?depth:int -> pnode -> tree
+
+val pchildren_labels : pnode -> string list
+(** Sorted. *)
+
+val pfold_bindings :
+  ?prune:(Name_path.t -> bool) -> pnode ->
+  init:'acc -> f:('acc -> Name_path.t -> string option -> 'acc) -> 'acc
+(** Like {!fold_bindings}, over the persistent form. *)
+
+val pcount_nodes : pnode -> int
+val pweight_bytes : pnode -> int
+
 val equal_tree : tree -> tree -> bool
 val equal_node : node -> node -> bool
 val pp_tree : Format.formatter -> tree -> unit

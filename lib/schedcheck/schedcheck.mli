@@ -57,6 +57,13 @@ val yield : string -> unit
 (** A pure scheduling point: lets every interleaving around this
     program point be explored.  The label shows up in traces. *)
 
+val step : ?enabled:(unit -> bool) -> ?run:(unit -> unit) -> string -> unit
+(** The primitive under {!yield} and the virtual mutex: a scheduling
+    point that blocks while [enabled] is false and runs [run]
+    atomically when scheduled.  Lets a scenario build its own guarded
+    hand-offs (e.g. a phase that must wait for every other thread to
+    drain) without spin loops that would blow up the schedule space. *)
+
 (** Virtual mutex: [lock] is a scheduling point that blocks while the
     owner is another thread; [unlock] is immediate (an unlock commutes
     with every other thread's next step, so yielding there would only
