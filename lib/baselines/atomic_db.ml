@@ -69,7 +69,8 @@ let commit t images =
   if images <> [] then begin
     (* Write 1: the commit record. *)
     ignore
-      (Wal.Writer.append_sync t.log (P.encode codec_images (images_to_wire images)));
+      (Wal.Writer.append_sync t.log (P.encode codec_images (images_to_wire images))
+        : int);
     (* Write 2: the data pages, in place. *)
     Paged_store.apply t.store ~sync:true images;
     if Wal.Writer.length t.log > trim_threshold then trim t

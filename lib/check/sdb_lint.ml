@@ -15,6 +15,9 @@ let rules =
     ("print-in-lib", "stdout/stderr printing inside lib/ (use Sdb_obs)");
     ( "global-mutable",
       "module-level mutable state in a file with no synchronization primitive" );
+    ( "swallow",
+      "catch-all exception handler or unascribed ignore in lib/ (errors \
+       vanish silently)" );
     ("parse-error", "file does not parse");
   ]
 
@@ -173,10 +176,33 @@ let iterate ctx (str : Parsetree.structure) =
         match p with
         | head :: _ when List.mem head sync_heads -> ctx.uses_sync <- true
         | _ -> ()))
+    | Pexp_try (_, cases) when in_lib ctx.path ->
+      List.iter
+        (fun (c : Parsetree.case) ->
+          match c.pc_lhs.ppat_desc with
+          | Ppat_any ->
+            report ctx "swallow" c.pc_lhs.ppat_loc
+              "catch-all `with _ ->` swallows every exception including \
+               asserts and Out_of_memory; name the exceptions this handler \
+               is allowed to eat"
+          | _ -> ())
+        cases
     | Pexp_apply
         ({ pexp_desc = Pexp_ident { txt; loc }; _ }, (Asttypes.Nolabel, arg) :: _)
       -> (
       let p = flatten txt in
+      (match p with
+      | [ "ignore" ] | [ "Stdlib"; "ignore" ] ->
+        (* `ignore (e : t)` is a deliberate, type-checked discard; a bare
+           `ignore e` silently drops whatever e became after a refactor. *)
+        (match arg.pexp_desc with
+        | Pexp_constraint _ -> ()
+        | _ ->
+          if in_lib ctx.path then
+            report ctx "swallow" loc
+              "ignore without a type ascription can silently discard a \
+               result or error; write `ignore (e : t)` or bind the value")
+      | _ -> ());
       match List.rev p with
       | verb :: _ when lock_module (last2 p) -> (
         let wrapper = match last2 p with m :: _ -> m | [] -> "" in
@@ -353,6 +379,14 @@ let seeded : (string * string * string * int option) list =
       "lib/seeded/bad_global.ml",
       "let table = Hashtbl.create 16\nlet get k = Hashtbl.find_opt table k\n",
       Some 1 );
+    ( "swallow",
+      "lib/seeded/bad_try.ml",
+      "let f () =\n  try work () with _ -> ()\n",
+      Some 2 );
+    ( "swallow",
+      "lib/seeded/bad_ignore.ml",
+      "let f x =\n  ignore (compute x)\n",
+      Some 2 );
   ]
 
 let waived_twins : (string * string * string) list =
@@ -365,6 +399,13 @@ let waived_twins : (string * string * string) list =
       "lib/seeded/ok_print.ml",
       "let f () = (Printf.printf \"hello\" [@sdb.lint.allow \"print-in-lib: \
        self-test\"])\n" );
+    ( "swallow",
+      "lib/seeded/ok_try.ml",
+      "let f () =\n\
+      \  ((try work () with _ -> ()) [@sdb.lint.allow \"swallow: self-test\"])\n" );
+    ( "swallow",
+      "lib/seeded/ok_ignore.ml",
+      "let f x = ignore (compute x : int)\n" );
   ]
 
 let self_test () =

@@ -11,7 +11,7 @@ module Atom = struct
 
   let make v =
     let a = Atomic.make v in
-    ignore (Sys.opaque_identity (Array.make 15 0));
+    ignore (Sys.opaque_identity (Array.make 15 0) : int array);
     a
 
   let get = Atomic.get
@@ -97,7 +97,10 @@ let pinned t f =
 
 let read t f = pinned t (fun v -> f v.Core.payload)
 let read_with_lsn t f = pinned t (fun v -> (f v.Core.payload, v.Core.vlsn))
+(* Publishing a new version is part of the apply step: Exclusive
+   only, matching the runtime assert in the engine's publish_epoch. *)
 let publish t ~lsn payload = Core.publish t.core ~lsn payload
+  [@@sdb.requires exclusive]
 let reclaim t = Core.reclaim t.core
 let unsafe_reclaim_all t = Core.unsafe_reclaim_all t.core
 let active_readers t = Core.active_readers t.core

@@ -362,7 +362,7 @@ module Make (App : Smalldb.APP) = struct
          end
          else false
        in
-       ignore switched;
+       ignore (switched : bool);
        t.parts.(k) <- { pi_version = v'; pi_lsn = t.lsn };
        t.rr <- (k + 1) mod Array.length t.states;
        (* Flushing rule: drop leading generations every partition has
@@ -420,7 +420,10 @@ module Make (App : Smalldb.APP) = struct
         Vlock.release t.lock Vlock.Update;
         Error e
       | Ok () ->
-        (try ignore (Wal.Writer.append_sync t.wal (P.encode codec_entry (partition, u)))
+        (try
+           ignore
+             (Wal.Writer.append_sync t.wal (P.encode codec_entry (partition, u))
+               : int)
          with e ->
            t.poisoned <- true;
            Vlock.release t.lock Vlock.Update;
@@ -475,8 +478,12 @@ module Make (App : Smalldb.APP) = struct
   let close t =
     if not t.closed then begin
       Vlock.acquire t.lock Vlock.Update;
-      t.closed <- true;
-      (try Wal.Writer.close t.wal with Fs.Io_error _ -> ());
-      Vlock.release t.lock Vlock.Update
+      (* a non-Io_error exception from the WAL close must not strand the
+         Update mode *)
+      Fun.protect
+        ~finally:(fun () -> Vlock.release t.lock Vlock.Update)
+        (fun () ->
+          t.closed <- true;
+          try Wal.Writer.close t.wal with Fs.Io_error _ -> ())
     end
 end

@@ -94,7 +94,7 @@ let histogram ?(help = "") ?(labels = []) name =
 
 let add c n =
   if n < 0 then invalid_arg "Metrics.add: counters are monotone";
-  if Atomic.get enabled then ignore (Atomic.fetch_and_add c.c_value n)
+  if Atomic.get enabled then ignore (Atomic.fetch_and_add c.c_value n : int)
 
 let incr c = add c 1
 

@@ -9,7 +9,7 @@ module Counters = struct
   let unpickled = Atomic.make 0
   let p_ops = Atomic.make 0
   let u_ops = Atomic.make 0
-  let add a n = ignore (Atomic.fetch_and_add a n)
+  let add a n = ignore (Atomic.fetch_and_add a n : int)
   let bytes_pickled () = Atomic.get pickled
   let bytes_unpickled () = Atomic.get unpickled
   let pickle_ops () = Atomic.get p_ops

@@ -158,7 +158,7 @@ let sender_loop t peer =
       let lsn, u = Queue.peek (queue ()) in
       if lsn < peer.p_acked then begin
         (* Anti-entropy outran the outbox; the peer already has it. *)
-        ignore (Queue.pop (queue ()));
+        ignore (Queue.pop (queue ()) : int * Ns.update);
         Sdb_check.Mu.unlock peer.p_mutex;
         loop ()
       end
@@ -190,7 +190,8 @@ let sender_loop t peer =
           (* The front is still our entry unless an overflow cleared
              the queue mid-flight. *)
           (match Queue.peek_opt (queue ()) with
-          | Some (l, _) when l = lsn -> ignore (Queue.pop (queue ()))
+          | Some (l, _) when l = lsn ->
+            ignore (Queue.pop (queue ()) : int * Ns.update)
           | _ -> ());
           Metrics.incr m_pushes
         end
@@ -240,6 +241,7 @@ let on_commit t lsn u =
       refresh_gauges_locked peer ~tip:(lsn + 1);
       Sdb_check.Mu.unlock peer.p_mutex)
     (all_peers t)
+  [@@sdb.noblock]
 
 let create ~id ns =
   let t =
@@ -675,7 +677,7 @@ let repair_from_peer ?config ?chunk_bytes peer_client fs =
   | Ok (tree, _lsn, peer_digest) ->
     begin
       List.iter
-        (fun f -> try fs.Sdb_storage.Fs.remove f with _ -> ())
+        (fun f -> try fs.Sdb_storage.Fs.remove f with Sdb_storage.Fs.Io_error _ -> ())
         (fs.Sdb_storage.Fs.list_files ());
       match Ns.open_ ?config fs with
       | Error e -> Error ("repair_from_peer: " ^ e)

@@ -66,7 +66,7 @@ module Budget = struct
             true
           end
           else begin
-            ignore (Atomic.fetch_and_add t.n_denied 1);
+            ignore (Atomic.fetch_and_add t.n_denied 1 : int);
             false
           end)
 

@@ -50,7 +50,7 @@ let create ?seed () =
 let locked t f = Sdb_check.Mu.with_lock t.m f
 
 let inject t =
-  ignore (Atomic.fetch_and_add t.n_injected 1);
+  ignore (Atomic.fetch_and_add t.n_injected 1 : int);
   Metrics.incr m_injected
 
 let fail_nth t ~op ~n ?(count = 1) () =

@@ -40,7 +40,7 @@ module Transport = struct
 
   let trips = Atomic.make 0
   let round_trips () = Atomic.get trips
-  let count_trip () = ignore (Atomic.fetch_and_add trips 1)
+  let count_trip () = ignore (Atomic.fetch_and_add trips 1 : int)
 
   let deadline_exceeded = "recv deadline exceeded"
 end
@@ -238,7 +238,8 @@ module Socket = struct
                (fun () ->
                  try serve_conn t
                  with Rpc_error _ -> t.Transport.close ())
-               ());
+               ()
+              : Thread.t);
           go ()
         | exception
             Unix.Unix_error

@@ -66,7 +66,8 @@ let create ~root =
             Fs.io_fail ~op:"seek" ~file:name "real_fs: reader used after close";
           ignore
             (wrap_unix ~file:name "seek" (fun () ->
-                 Unix.lseek fd target Unix.SEEK_SET)));
+                 Unix.lseek fd target Unix.SEEK_SET)
+              : int));
       r_close =
         (fun () ->
           if not !closed then begin
@@ -141,7 +142,8 @@ let create ~root =
           check "pread";
           ignore
             (wrap_unix ~file:name "seek" (fun () ->
-                 Unix.lseek fd off Unix.SEEK_SET));
+                 Unix.lseek fd off Unix.SEEK_SET)
+              : int);
           let got =
             wrap_unix ~file:name "pread" (fun () -> Unix.read fd buf pos n)
           in
@@ -153,7 +155,8 @@ let create ~root =
           check "pwrite";
           ignore
             (wrap_unix ~file:name "seek" (fun () ->
-                 Unix.lseek fd off Unix.SEEK_SET));
+                 Unix.lseek fd off Unix.SEEK_SET)
+              : int);
           let n = String.length s in
           let written =
             wrap_unix ~file:name "pwrite" (fun () ->

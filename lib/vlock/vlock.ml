@@ -162,12 +162,14 @@ let with_lock t mode f =
   Fun.protect ~finally:(fun () -> release t mode) f
 
 let sanitizer t = t.san
-let readers t = Core.readers t.core
-let shared_hold_count t = Core.shared_hold_count t.core
-let update_held t = Core.update_held t.core
-let exclusive_held t = Core.exclusive_held t.core
-let upgrade_pending t = Core.upgrade_pending t.core
+(* Observability accessors: snapshot reads off the sanitizer path,
+   safe to call from probes and the lockdep linger loop. *)
+let readers t = Core.readers t.core [@@sdb.noblock]
+let shared_hold_count t = Core.shared_hold_count t.core [@@sdb.noblock]
+let update_held t = Core.update_held t.core [@@sdb.noblock]
+let exclusive_held t = Core.exclusive_held t.core [@@sdb.noblock]
+let upgrade_pending t = Core.upgrade_pending t.core [@@sdb.noblock]
 
-let waiters t mode = Core.waiters t.core mode
-let waiting t = Core.waiting t.core
-let stats t = Core.stats t.core
+let waiters t mode = Core.waiters t.core mode [@@sdb.noblock]
+let waiting t = Core.waiting t.core [@@sdb.noblock]
+let stats t = Core.stats t.core [@@sdb.noblock]

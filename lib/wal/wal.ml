@@ -160,17 +160,21 @@ module Writer = struct
     t.length <- t.length + String.length raw;
     t.entries <- t.entries + count
 
+  (* Group-commit staging is pure buffering: the leader runs it under
+     the Update mode and nothing here may touch the disk. *)
   let stage t payload =
     check t;
     frame_into t.pending payload;
     t.pending_frames <- t.pending_frames + 1
+    [@@sdb.noblock]
 
-  let staged_frames t = t.pending_frames
-  let staged_bytes t = Buffer.length t.pending
+  let staged_frames t = t.pending_frames [@@sdb.noblock]
+  let staged_bytes t = Buffer.length t.pending [@@sdb.noblock]
 
   let discard_group t =
     Buffer.clear t.pending;
     t.pending_frames <- 0
+    [@@sdb.noblock]
 
   let sync t =
     check t;

@@ -1,0 +1,13 @@
+(* Seeded violation for the [mode] rule on a call chain: [updates]
+   enters with Update yet calls into Exclusive-requiring code — the
+   mode-downgrade shape the checker must catch interprocedurally. *)
+
+let state = ref 0
+
+let writes_state () =
+  state := !state + 1
+  [@@sdb.requires exclusive]
+
+let updates () =
+  writes_state ()
+  [@@sdb.requires update]

@@ -1,0 +1,25 @@
+(* Disciplined twin of the seeded fixtures: contracts declared and
+   honored.  The checker must stay silent here — it gates the test
+   against rules that fire on correct code. *)
+
+module Vlock = Sdb_vlock.Vlock
+module Epoch = Sdb_epoch.Epoch
+
+let lock = Vlock.create ~name:"fx.clean" ()
+let state = ref 0
+
+let bump () =
+  state := !state + 1
+  [@@sdb.requires exclusive]
+
+let write () =
+  Vlock.with_lock lock Vlock.Exclusive bump
+  [@@sdb.acquires exclusive]
+
+let read_state () =
+  Vlock.with_lock lock Vlock.Shared (fun () -> !state)
+  [@@sdb.acquires shared]
+
+(* A balanced epoch read: enter/exit implied by Epoch.read's bracket. *)
+let cell = Epoch.create ~name:"fx.clean.epoch" ~lsn:0 0
+let snapshot () = Epoch.read cell (fun v -> v)

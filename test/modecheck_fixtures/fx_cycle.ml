@@ -1,0 +1,18 @@
+(* Seeded violation for the [lock-order] rule: two mutexes taken in
+   both orders by different functions — a cycle in the derived
+   lock-order graph even though each function on its own is balanced. *)
+
+let a = Sdb_check.Mu.make "fx.a"
+let b = Sdb_check.Mu.make "fx.b"
+
+let ab () =
+  Sdb_check.Mu.lock a;
+  Sdb_check.Mu.lock b;
+  Sdb_check.Mu.unlock b;
+  Sdb_check.Mu.unlock a
+
+let ba () =
+  Sdb_check.Mu.lock b;
+  Sdb_check.Mu.lock a;
+  Sdb_check.Mu.unlock a;
+  Sdb_check.Mu.unlock b

@@ -1,0 +1,4 @@
+(* Seeded violation for the [epoch-bracket] rule: an epoch section
+   entered and never exited on the fall-through path. *)
+
+let enter_only () = Sdb_check.note_epoch_enter ~name:"fx.epoch"

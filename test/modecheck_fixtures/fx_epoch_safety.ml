@@ -1,0 +1,9 @@
+(* Seeded violation for the [epoch-safety] rule: a lock acquisition
+   inside a declared epoch read section.  An epoch section must be
+   wait-free — a lock inside it can pin the epoch indefinitely. *)
+
+let m = Sdb_check.Mu.make "fx.es"
+
+let inside () =
+  Sdb_check.Mu.with_lock m (fun () -> ())
+  [@@sdb.epoch_section]

@@ -1,0 +1,10 @@
+(* Seeded violation for the [io-under-mutex] rule: a blocking file
+   read while a plain (`Mutex-kind) Mu is held. *)
+
+let m = Sdb_check.Mu.make "fx.iomutex"
+
+let slow_under_lock fs =
+  Sdb_check.Mu.lock m;
+  let data = Sdb_storage.Fs.read_file fs "some-file" in
+  Sdb_check.Mu.unlock m;
+  String.length data

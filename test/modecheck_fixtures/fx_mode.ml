@@ -1,0 +1,10 @@
+(* Seeded violation for the [mode] rule: [caller] invokes
+   [needs_update] while holding no Vlock mode at all. *)
+
+let counter = ref 0
+
+let needs_update () =
+  incr counter
+  [@@sdb.requires update]
+
+let caller () = needs_update ()

@@ -1,0 +1,8 @@
+(* Seeded violation for the [noblock] rule, transitively: [fast]
+   promises not to block but calls a helper that sleeps. *)
+
+let sleeper () = Thread.delay 0.001
+
+let fast () =
+  sleeper ()
+  [@@sdb.noblock]
